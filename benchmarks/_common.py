@@ -1,0 +1,61 @@
+"""Shared infrastructure for the figure-regeneration benches.
+
+Each bench regenerates one table or figure of the paper through the
+experiment runner (compile + simulate sweeps, disk-cached under
+``.repro_cache``), prints the result table, and writes it to
+``results/<figure>.txt`` so EXPERIMENTS.md can reference the latest run.
+
+Environment knobs:
+
+* ``REPRO_SCALE``  — input-size multiplier for every benchmark (default 1).
+* ``REPRO_BENCHMARKS`` — comma-separated benchmark subset (default: all 12).
+* ``REPRO_CACHE_DIR`` — cache directory (default ``.repro_cache``).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.experiments import ExperimentRunner
+from repro.experiments.report import FigureResult
+from repro.workloads import ALL_BENCHMARKS
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+_runner: ExperimentRunner | None = None
+
+
+def shared_runner() -> ExperimentRunner:
+    global _runner
+    if _runner is None:
+        _runner = ExperimentRunner()
+    return _runner
+
+
+def selected_benchmarks() -> tuple[str, ...]:
+    raw = os.environ.get("REPRO_BENCHMARKS", "")
+    if not raw.strip():
+        return ALL_BENCHMARKS
+    return tuple(name.strip() for name in raw.split(",") if name.strip())
+
+
+def emit(result: FigureResult) -> FigureResult:
+    """Print and persist a regenerated figure."""
+    text = result.render()
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    slug = result.fid.lower().replace(" ", "")
+    (RESULTS_DIR / f"{slug}.txt").write_text(text + "\n")
+    return result
+
+
+def run_figure(benchmark_fixture, figure_fn) -> FigureResult:
+    """Run one figure regeneration under pytest-benchmark (single round)."""
+    runner = shared_runner()
+    names = selected_benchmarks()
+    result = benchmark_fixture.pedantic(
+        lambda: figure_fn(runner, benchmarks=names), rounds=1, iterations=1
+    )
+    return emit(result)

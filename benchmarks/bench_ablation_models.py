@@ -1,0 +1,9 @@
+"""Ablation A (ours): the four automatic reset models of paper section 2.3."""
+
+from repro.experiments import ablation_models
+
+from _common import run_figure
+
+
+def test_ablation_models(benchmark):
+    run_figure(benchmark, ablation_models)

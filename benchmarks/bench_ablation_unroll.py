@@ -1,0 +1,10 @@
+"""Ablation C (ours): the paper's closing claim — deeper parallelization
+makes the RC method beneficial at 32 or more registers."""
+
+from repro.experiments import ablation_unroll
+
+from _common import run_figure
+
+
+def test_ablation_unroll(benchmark):
+    run_figure(benchmark, ablation_unroll)

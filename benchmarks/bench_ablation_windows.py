@@ -1,0 +1,9 @@
+"""Ablation B (ours): sensitivity to the reserved connection-window count."""
+
+from repro.experiments import ablation_windows
+
+from _common import run_figure
+
+
+def test_ablation_windows(benchmark):
+    run_figure(benchmark, ablation_windows)

@@ -1,0 +1,9 @@
+"""Figure 7: Speedup with unlimited registers at issue rates 1/2/4/8."""
+
+from repro.experiments import figure7
+
+from _common import run_figure
+
+
+def test_figure7(benchmark):
+    run_figure(benchmark, figure7)

@@ -1,0 +1,9 @@
+"""Figure 8: Speedup vs core register count, with and without RC."""
+
+from repro.experiments import figure8
+
+from _common import run_figure
+
+
+def test_figure8(benchmark):
+    run_figure(benchmark, figure8)

@@ -1,0 +1,9 @@
+"""Figure 9: Code size increase due to spill/connect code."""
+
+from repro.experiments import figure9
+
+from _common import run_figure
+
+
+def test_figure9(benchmark):
+    run_figure(benchmark, figure9)

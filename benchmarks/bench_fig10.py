@@ -1,0 +1,9 @@
+"""Figure 10: Speedup vs issue rate at 2-cycle load latency."""
+
+from repro.experiments import figure10
+
+from _common import run_figure
+
+
+def test_figure10(benchmark):
+    run_figure(benchmark, figure10)

@@ -1,0 +1,9 @@
+"""Figure 11: Speedup vs issue rate at 4-cycle load latency."""
+
+from repro.experiments import figure11
+
+from _common import run_figure
+
+
+def test_figure11(benchmark):
+    run_figure(benchmark, figure11)

@@ -1,0 +1,9 @@
+"""Figure 12: RC implementation scenarios (connect latency, extra stage)."""
+
+from repro.experiments import figure12
+
+from _common import run_figure
+
+
+def test_figure12(benchmark):
+    run_figure(benchmark, figure12)

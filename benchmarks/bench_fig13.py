@@ -1,0 +1,9 @@
+"""Figure 13: Memory channels 2 vs 4 against the RC method."""
+
+from repro.experiments import figure13
+
+from _common import run_figure
+
+
+def test_figure13(benchmark):
+    run_figure(benchmark, figure13)

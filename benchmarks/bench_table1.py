@@ -1,0 +1,10 @@
+"""Table 1: instruction latencies (configuration check, not a simulation)."""
+
+from repro.experiments import table1
+
+from _common import emit
+
+
+def test_table1(benchmark):
+    result = benchmark.pedantic(table1, rounds=1, iterations=1)
+    emit(result)

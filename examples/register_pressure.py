@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Register-pressure study: sweep the core register file size on one
+benchmark and watch spill code, connect code, and performance respond —
+a miniature, single-benchmark version of the paper's Figure 8 / Figure 9.
+
+Run:  python examples/register_pressure.py [benchmark] [issue-width]
+      e.g. python examples/register_pressure.py eqntott 8
+"""
+
+import sys
+
+from repro.experiments import ExperimentRunner
+from repro.experiments.figures import SIZE_PAIRS, _config
+from repro.sim import unlimited_machine
+from repro.workloads import ALL_BENCHMARKS, workload
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "eqntott"
+    issue = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+    if name not in ALL_BENCHMARKS:
+        raise SystemExit(f"unknown benchmark {name!r}; one of "
+                         f"{', '.join(ALL_BENCHMARKS)}")
+    kind = workload(name).kind
+    runner = ExperimentRunner()
+
+    unl = runner.speedup(name, unlimited_machine(issue_width=issue))
+    print(f"benchmark {name} ({kind}), {issue}-issue, 2-cycle loads")
+    print(f"unlimited-register speedup: {unl:.2f}\n")
+    header = (f"{'core regs':>10} {'model':>6} {'speedup':>8} {'%unl':>6} "
+              f"{'spilled':>8} {'extended':>9} {'spill+':>7} {'connect+':>9} "
+              f"{'save+':>6}")
+    print(header)
+    print("-" * len(header))
+    for int_core, fp_core in SIZE_PAIRS:
+        shown = int_core if kind == "int" else fp_core
+        for rc in (False, True):
+            cfg = _config(name, rc=rc, int_core=int_core, fp_core=fp_core,
+                          issue=issue)
+            rec = runner.run(name, cfg)
+            speedup = runner.baseline_cycles(name) / rec.cycles
+            print(f"{shown:>10} {'RC' if rc else 'no':>6} {speedup:>8.2f} "
+                  f"{100 * speedup / unl:>5.0f}% {rec.spilled_vregs:>8} "
+                  f"{rec.extended_vregs:>9} {rec.spill_static:>7} "
+                  f"{rec.connect_static:>9} {rec.callsave_static:>6}")
+    print("\nColumns: spill+/connect+/save+ are static instruction counts "
+          "added by spilling, register connection, and extended-register "
+          "save/restore at calls.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Upward compatibility walkthrough (paper section 4).
+
+Demonstrates, on the cycle-level simulator:
+
+1. a legacy binary (no connect instructions) running unmodified on an
+   RC-extended processor;
+2. why ``jsr``/``rts`` must reset the register map (the callee-save bug of
+   section 4.1), shown by emulating the broken behaviour at the mapping
+   table level;
+3. traps bypassing the register map through the PSW map-enable flag
+   (section 4.3);
+4. the two context-switch formats selected by the PSW rc-mode flag
+   (section 4.2).
+
+Run:  python examples/upward_compatibility.py
+"""
+
+from repro.isa import Imm, Instr, Opcode, PhysReg, RClass, connect_use, rc_spec
+from repro.rc import MappingTable, PSW, RCModel
+from repro.sim import MachineConfig, Simulator, assemble, simulate
+
+
+def r(n: int) -> PhysReg:
+    return PhysReg(RClass.INT, n)
+
+
+RC_MACHINE = MachineConfig(
+    issue_width=2,
+    int_spec=rc_spec(RClass.INT, 16),   # 16 core + 240 extended
+)
+
+
+def legacy_binary_runs_unmodified() -> None:
+    print("1. Legacy binary on RC hardware")
+    legacy = assemble([
+        Instr(Opcode.LI, dest=r(5), imm=20),
+        Instr(Opcode.LI, dest=r(6), imm=22),
+        Instr(Opcode.ADD, dest=r(7), srcs=(r(5), r(6))),
+        Instr(Opcode.STORE, srcs=(r(7), Imm(0)), imm=100),
+        Instr(Opcode.HALT),
+    ])
+    result = simulate(legacy, RC_MACHINE)
+    print(f"   result {result.load_word(100)} (expected 42): the map stays "
+          "at its home locations, so core-register semantics are unchanged")
+    print()
+
+
+def jsr_reset_prevents_callee_save_bug() -> None:
+    print("2. The jsr/rts map reset (section 4.1)")
+    # A caller connects index 5 to extended register 30 (e.g. to save it),
+    # then calls a subroutine that treats r5 as callee-save.
+    prog = assemble([
+        Instr(Opcode.LI, dest=r(5), imm=111),        # caller's r5
+        connect_use(RClass.INT, 5, 30),              # reads of idx5 -> rp30
+        Instr(Opcode.CALL, label="sub"),
+        Instr(Opcode.STORE, srcs=(r(5), Imm(0)), imm=200),
+        Instr(Opcode.HALT),
+        # sub: "callee-saves" r5, clobbers it, restores, returns
+        Instr(Opcode.STORE, srcs=(r(5), Imm(0)), imm=300),   # save
+        Instr(Opcode.LI, dest=r(5), imm=999),                # clobber
+        Instr(Opcode.LOAD, dest=r(5), srcs=(Imm(0),), imm=300),  # restore
+        Instr(Opcode.RET),
+    ], labels={"sub": 5})
+    result = simulate(prog, RC_MACHINE)
+    print(f"   callee saved the value {result.load_word(300)} "
+          "(the CORRECT core r5, thanks to the jsr reset)")
+    print(f"   caller sees r5 = {result.load_word(200)} after return")
+
+    # Without the hardware reset the callee would have saved the contents
+    # of extended register 30 instead -- reproduce at the table level:
+    table = MappingTable(16, 256, RCModel.WRITE_RESET_READ_UPDATE)
+    table.connect_use(5, 30)
+    print(f"   without the reset, reads of idx 5 would go to physical "
+          f"r{table.read_target(5)} - the wrong register (section 4.1's bug)")
+    print()
+
+
+def traps_bypass_the_map() -> None:
+    print("3. Traps bypass the map via PSW.map_enable (section 4.3)")
+    prog = assemble([
+        Instr(Opcode.LI, dest=r(5), imm=7),
+        connect_use(RClass.INT, 5, 31),      # reads of idx5 -> rp31 (== 0)
+        Instr(Opcode.TRAP, imm=1),
+        Instr(Opcode.STORE, srcs=(r(5), Imm(0)), imm=400),  # mapped read
+        Instr(Opcode.HALT),
+        # handler: reads r5 directly (map disabled), then returns
+        Instr(Opcode.STORE, srcs=(r(5), Imm(0)), imm=401),
+        Instr(Opcode.RTE),
+    ], trap_handlers={1: 5})
+    result = simulate(prog, RC_MACHINE)
+    print(f"   handler saw core r5 = {result.load_word(401)} "
+          "(map bypassed, no connect bookkeeping needed)")
+    print(f"   after rte the map is live again: mapped read = "
+          f"{result.load_word(400)} (extended r31 = 0)")
+    print()
+
+
+def context_switch_formats() -> None:
+    print("4. Context switch formats (section 4.2)")
+    prog = assemble([connect_use(RClass.INT, 5, 40), Instr(Opcode.HALT)])
+    sim = Simulator(prog, RC_MACHINE)
+    state = sim.run().state
+
+    rc_ctx = state.save_process_context()
+    state.psw.rc_mode = False
+    legacy_ctx = state.save_process_context()
+    print(f"   RC-process frame:     {rc_ctx.word_count()} words "
+          "(core + extended + connection info)")
+    print(f"   legacy-process frame: {legacy_ctx.word_count()} words "
+          "(core registers only)")
+    print("   the PSW rc-mode bit selects the format, so legacy processes "
+          "pay no context-switch cost for the extension")
+
+
+if __name__ == "__main__":
+    legacy_binary_runs_unmodified()
+    jsr_reset_prevents_callee_save_bug()
+    traps_bypass_the_map()
+    context_switch_formats()

@@ -1,0 +1,19 @@
+#!/usr/bin/env python3
+"""Characterize the twelve benchmark kernels: dynamic instruction mix,
+branch density/bias, memory intensity, FP share, call counts.
+
+Run:  python examples/workload_mix.py
+"""
+
+from repro.workloads import ALL_BENCHMARKS
+from repro.workloads.analysis import profile_workload
+
+
+def main() -> None:
+    for name in ALL_BENCHMARKS:
+        print(profile_workload(name).render())
+        print()
+
+
+if __name__ == "__main__":
+    main()

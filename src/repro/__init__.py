@@ -1,0 +1,18 @@
+"""Reproduction of "Register Connection: A New Approach to Adding Registers
+into Instruction Set Architectures" (Kiyohara et al., ISCA 1993).
+
+Subpackages:
+
+* :mod:`repro.isa` — the instruction set (registers, opcodes, latencies,
+  instructions, semantics, textual assembly).
+* :mod:`repro.ir` — compiler IR, builder DSL, analyses, interpreter.
+* :mod:`repro.compiler` — optimizer, register allocator, connect insertion,
+  scheduler, lowering.
+* :mod:`repro.rc` — Register Connection architectural state: the mapping
+  table, PSW, context-switch formats.
+* :mod:`repro.sim` — the cycle-level superscalar simulator.
+* :mod:`repro.workloads` — the twelve benchmark kernels.
+* :mod:`repro.experiments` — regeneration of the paper's tables and figures.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,245 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — the available benchmarks.
+* ``run <benchmark>`` — compile and simulate one benchmark on a configurable
+  machine; prints cycle counts, IPC, code-size accounting, verification.
+* ``disasm <benchmark>`` — print the compiled machine code.
+* ``asm <file.s>`` — assemble a textual program and simulate it.
+* ``figures [name ...]`` — regenerate paper figures (default: all).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.compiler import CompileOptions, OptOptions, compile_module
+from repro.compiler.regalloc.allocator import AllocationOptions
+from repro.experiments import ALL_FIGURES, ExperimentRunner
+from repro.isa import RClass
+from repro.isa.asmfmt import format_listing
+from repro.isa.asmparse import parse_program
+from repro.rc import RCModel
+from repro.sim import paper_machine, simulate, unlimited_machine
+from repro.sim.tracing import capture_trace
+from repro.workloads import ALL_BENCHMARKS, workload
+
+
+def _machine_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--issue", type=int, default=4,
+                        choices=(1, 2, 4, 8), help="issue width")
+    parser.add_argument("--int-core", type=int, default=16,
+                        help="core integer registers")
+    parser.add_argument("--fp-core", type=int, default=32,
+                        help="core FP registers")
+    parser.add_argument("--load", type=int, default=2, choices=(2, 4),
+                        help="load latency")
+    parser.add_argument("--rc", action="store_true",
+                        help="enable the RC extension (256 total registers)")
+    parser.add_argument("--connect", type=int, default=0, choices=(0, 1),
+                        help="connect instruction latency")
+    parser.add_argument("--extra-stage", action="store_true",
+                        help="extra decode stage for the mapping table")
+    parser.add_argument("--model", type=int, default=3, choices=(1, 2, 3, 4, 5),
+                        help="automatic reset model (paper section 2.3; "
+                             "5 = our read-reset extension)")
+    parser.add_argument("--channels", type=int, default=None,
+                        help="memory channels (default per issue width)")
+    parser.add_argument("--unlimited", action="store_true",
+                        help="use the unlimited-register machine")
+
+
+def _compile_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--opt", default="ilp", choices=("scalar", "ilp"))
+    parser.add_argument("--unroll", type=int, default=4)
+    parser.add_argument("--windows", type=int, default=4)
+    parser.add_argument("--no-schedule", action="store_true")
+    parser.add_argument("--scale", type=int, default=1,
+                        help="benchmark input scale")
+
+
+def _build_machine(args, kind: str):
+    if args.unlimited:
+        return unlimited_machine(issue_width=args.issue,
+                                 load_latency=args.load,
+                                 mem_channels=args.channels)
+    rc_class = None
+    if args.rc:
+        rc_class = RClass.INT if kind == "int" else RClass.FP
+    return paper_machine(
+        issue_width=args.issue,
+        load_latency=args.load,
+        int_core=args.int_core,
+        fp_core=args.fp_core,
+        rc_class=rc_class,
+        connect_latency=args.connect,
+        extra_decode_stage=args.extra_stage,
+        rc_model=RCModel(args.model),
+        mem_channels=args.channels,
+    )
+
+
+def _build_options(args) -> CompileOptions:
+    return CompileOptions(
+        opt=OptOptions(level=args.opt, unroll_factor=args.unroll),
+        alloc=AllocationOptions(num_windows=args.windows),
+        schedule=not args.no_schedule,
+    )
+
+
+def _compile_benchmark(args):
+    w = workload(args.benchmark)
+    module = w.module(args.scale)
+    config = _build_machine(args, w.kind)
+    out = compile_module(module, config, _build_options(args))
+    return w, module, config, out
+
+
+def cmd_list(_args) -> int:
+    for name in ALL_BENCHMARKS:
+        w = workload(name)
+        print(f"{name:10s} {w.kind}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    w, module, config, out = _compile_benchmark(args)
+    result = simulate(out.program, config)
+    addr = module.global_addr("checksum")
+    got = result.load_word(addr)
+    want = out.interp.load_word(addr)
+    print(f"benchmark     {w.name} ({w.kind}), scale {args.scale}")
+    print(f"machine       {config.describe()}")
+    print(f"cycles        {result.cycles}")
+    print(f"instructions  {result.stats.instructions}"
+          f"  (IPC {result.stats.ipc:.2f})")
+    print(f"branches      {result.stats.branches}"
+          f"  ({result.stats.mispredicts} mispredicted)")
+    print(f"static code   {out.stats.total_instructions} instrs"
+          f"  (+{100 * out.stats.code_size_increase:.1f}% overhead: "
+          f"{out.stats.spill_instructions} spill, "
+          f"{out.stats.connect_instructions} connect, "
+          f"{out.stats.callsave_instructions} call-save)")
+    print(f"allocation    {out.stats.spilled_vregs} spilled, "
+          f"{out.stats.extended_vregs} extended")
+    status = "OK" if got == want else "MISMATCH"
+    print(f"verification  checksum {got!r} vs interpreter {want!r}: {status}")
+    return 0 if got == want else 1
+
+
+def cmd_disasm(args) -> int:
+    _w, _module, _config, out = _compile_benchmark(args)
+    listing = format_listing(out.program.instrs)
+    if args.head:
+        listing = "\n".join(listing.splitlines()[: args.head])
+    print(listing)
+    return 0
+
+
+def cmd_asm(args) -> int:
+    with open(args.file) as fh:
+        program = parse_program(fh.read())
+    config = _build_machine(args, "int")
+    result = simulate(program, config)
+    print(f"machine  {config.describe()}")
+    print(f"cycles   {result.cycles}")
+    print(f"instrs   {result.stats.instructions}"
+          f"  (IPC {result.stats.ipc:.2f})")
+    if args.dump:
+        for addr in args.dump:
+            print(f"mem[{addr}] = {result.load_word(addr)!r}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    _w, _module, config, out = _compile_benchmark(args)
+    trace = capture_trace(out.program, config, limit=args.limit)
+    print(trace.summary())
+    print()
+    print(trace.render(start=args.skip, count=args.count))
+    return 0
+
+
+def cmd_figures(args) -> int:
+    runner = ExperimentRunner(scale=args.scale)
+    names = args.names or list(ALL_FIGURES)
+    benchmarks = (tuple(args.benchmarks.split(","))
+                  if args.benchmarks else ALL_BENCHMARKS)
+    for name in names:
+        fig_fn = ALL_FIGURES.get(name)
+        if fig_fn is None:
+            print(f"unknown figure {name!r}; available: "
+                  f"{', '.join(ALL_FIGURES)}", file=sys.stderr)
+            return 2
+        fig = fig_fn(runner, benchmarks=benchmarks)
+        if args.format == "csv":
+            print(fig.to_csv())
+        elif args.format == "json":
+            print(fig.to_json())
+        else:
+            print(fig.render())
+            print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Register Connection (ISCA 1993) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmarks").set_defaults(fn=cmd_list)
+
+    p = sub.add_parser("run", help="compile and simulate a benchmark")
+    p.add_argument("benchmark", choices=ALL_BENCHMARKS)
+    _machine_args(p)
+    _compile_args(p)
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("disasm", help="print compiled machine code")
+    p.add_argument("benchmark", choices=ALL_BENCHMARKS)
+    p.add_argument("--head", type=int, default=0,
+                   help="print only the first N instructions")
+    _machine_args(p)
+    _compile_args(p)
+    p.set_defaults(fn=cmd_disasm)
+
+    p = sub.add_parser("asm", help="assemble and simulate a .s file")
+    p.add_argument("file")
+    p.add_argument("--dump", type=int, action="append",
+                   help="print this memory word after the run")
+    _machine_args(p)
+    p.set_defaults(fn=cmd_asm)
+
+    p = sub.add_parser("trace", help="show a cycle-by-cycle issue trace")
+    p.add_argument("benchmark", choices=ALL_BENCHMARKS)
+    p.add_argument("--skip", type=int, default=0,
+                   help="skip this many issue events first")
+    p.add_argument("--count", type=int, default=40,
+                   help="number of issue events to display")
+    p.add_argument("--limit", type=int, default=200_000)
+    _machine_args(p)
+    _compile_args(p)
+    p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser("figures", help="regenerate paper figures")
+    p.add_argument("names", nargs="*", metavar="figure")
+    p.add_argument("--scale", type=int, default=None)
+    p.add_argument("--benchmarks", default="",
+                   help="comma-separated benchmark subset")
+    p.add_argument("--format", default="text",
+                   choices=("text", "csv", "json"))
+    p.set_defaults(fn=cmd_figures)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

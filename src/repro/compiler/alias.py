@@ -1,0 +1,137 @@
+"""Memory-provenance (alias) analysis.
+
+Every memory access in the kernels addresses either a named module global
+(a distinct array) or the stack; two accesses to *different* regions can
+never alias, which is what lets the list scheduler overlap loads from one
+array with stores to another (e.g. the stencil grids of tomcatv).
+
+The analysis is a forward must-dataflow over virtual registers: a register
+holding the address of global ``g`` (from ``li``) keeps that provenance
+through ``add``/``sub``/``move`` with non-address operands; any merge of
+differing provenances, or arithmetic mixing two addresses, degrades to
+unknown.  Each load/store whose base resolves to one region is annotated
+with ``("global", name)``; stack accesses are recognized later by their SP
+base in the dependence builder.
+"""
+
+from __future__ import annotations
+
+from repro.ir.cfg import reverse_postorder
+from repro.ir.function import Function, Module
+from repro.isa.instruction import Instr
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import Imm, VReg
+
+_PROPAGATE = {Opcode.ADD, Opcode.SUB, Opcode.MOVE}
+#: Provenance lattice: missing key = "not an address" (bottom-ish, mergeable)
+#: and _UNKNOWN = "some address we cannot name" (kills disambiguation).
+_UNKNOWN = ("?",)
+
+
+def _global_of(module: Module, addr) -> tuple | None:
+    if not isinstance(addr, int):
+        return None
+    for g in module.globals.values():
+        if g.addr <= addr < g.addr + g.size:
+            return ("global", g.name)
+    return None
+
+
+def _transfer(module: Module, instr: Instr, env: dict) -> tuple | None:
+    """Provenance of *instr*'s destination value (None = not an address).
+
+    Assumption (documented in DESIGN.md): addresses are only formed by
+    ``li`` of a global's address plus ``add``/``sub``/``move`` chains over
+    non-address values — i.e. no pointer is synthesized by multiplication,
+    masking, or loaded back from memory.  Every module in this repository
+    satisfies this, and golden-equivalence tests would catch a violation;
+    callers with exotic address arithmetic should disable alias annotation.
+    """
+    if instr.op is Opcode.LI:
+        return _global_of(module, instr.imm)
+    if instr.op in _PROPAGATE:
+        provs = []
+        for s in instr.srcs:
+            if isinstance(s, VReg):
+                provs.append(env.get(s))
+            elif isinstance(s, Imm):
+                provs.append(None)
+            else:  # physical register: contents unknown
+                provs.append(_UNKNOWN)
+        addresses = [p for p in provs if p is not None]
+        if not addresses:
+            return None
+        if len(addresses) == 1 and addresses[0] is not _UNKNOWN:
+            return addresses[0]
+        return _UNKNOWN
+    if instr.op is Opcode.CALL:
+        return _UNKNOWN  # a callee may legitimately return an address
+    return None
+
+
+def _apply_block(module: Module, block, env: dict,
+                 annotate: bool = False) -> int:
+    tagged = 0
+    for instr in block.instrs:
+        if annotate and instr.op in (Opcode.LOAD, Opcode.FLOAD,
+                                     Opcode.STORE, Opcode.FSTORE):
+            base = (instr.srcs[0]
+                    if instr.op in (Opcode.LOAD, Opcode.FLOAD)
+                    else instr.srcs[1])
+            if isinstance(base, Imm):
+                prov = _global_of(module, base.value)
+            elif isinstance(base, VReg):
+                prov = env.get(base)
+            else:
+                prov = None
+            if prov is not None and prov != _UNKNOWN:
+                instr.alias = prov
+                tagged += 1
+        if isinstance(instr.dest, VReg):
+            prov = _transfer(module, instr, env)
+            if prov is None:
+                env.pop(instr.dest, None)
+            else:
+                env[instr.dest] = prov
+    return tagged
+
+
+def annotate_memory_aliases(fn: Function, module: Module) -> int:
+    """Tag every load/store of *fn* with its memory region; returns the
+    number of accesses that received a definite tag."""
+    rpo = reverse_postorder(fn)
+    entry_env: dict[str, dict | None] = {name: None for name in rpo}
+    entry_env[fn.entry.name] = {}
+    for _ in range(len(rpo) + 2):
+        changed = False
+        for name in rpo:
+            start = entry_env[name]
+            if start is None:
+                continue
+            env = dict(start)
+            _apply_block(module, fn.block(name), env)
+            for succ in fn.block(name).successors():
+                current = entry_env.get(succ)
+                if current is None:
+                    entry_env[succ] = dict(env)
+                    changed = True
+                else:
+                    # Meet = intersection of agreeing facts.
+                    for v in [v for v, p in current.items()
+                              if env.get(v) != p]:
+                        del current[v]
+                        changed = True
+        if not changed:
+            break
+
+    tagged = 0
+    for name in rpo:
+        env = dict(entry_env[name] or {})
+        tagged += _apply_block(module, fn.block(name), env, annotate=True)
+    return tagged
+
+
+def annotate_module(module: Module) -> int:
+    """Annotate every function; returns the total number of tagged accesses."""
+    return sum(annotate_memory_aliases(fn, module)
+               for fn in module.functions.values())

@@ -1,0 +1,147 @@
+"""Calling-convention lowering: calls, returns, prologue/epilogue.
+
+Two phases operate here:
+
+* :func:`lower_calls` runs *before* register allocation: it turns IR-level
+  calls with register arguments into explicit argument stores plus a bare
+  ``call``, and moves return values through the dedicated return-value
+  registers (``r1`` / ``f0``).
+* :func:`insert_prologue_epilogue` runs *after* allocation: it adjusts SP,
+  saves/restores the callee-save core registers the function actually uses,
+  loads incoming parameters, and resolves all symbolic frame offsets.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.frame import FrameLayout, InArg, LocalSlot, OutArg
+from repro.errors import CompileError
+from repro.ir.function import Function
+from repro.isa.instruction import Instr
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import (
+    FP_RETVAL,
+    Imm,
+    INT_RETVAL,
+    PhysReg,
+    RClass,
+    SP,
+    VReg,
+)
+
+
+def lower_calls(fn: Function) -> None:
+    """Lower call arguments and return values to the stack convention."""
+    for block in fn.blocks:
+        new_instrs: list[Instr] = []
+        for instr in block.instrs:
+            if instr.op is Opcode.CALL:
+                for i, arg in enumerate(instr.srcs):
+                    if isinstance(arg, Imm) or arg.cls is RClass.INT:
+                        op = Opcode.STORE
+                    else:
+                        op = Opcode.FSTORE
+                    new_instrs.append(
+                        Instr(op, srcs=(arg, SP), imm=OutArg(i), origin="frame")
+                    )
+                dest = instr.dest
+                new_instrs.append(Instr(Opcode.CALL, label=instr.label,
+                                        origin=instr.origin))
+                if dest is not None:
+                    if dest.cls is RClass.INT:
+                        new_instrs.append(Instr(Opcode.MOVE, dest=dest,
+                                                srcs=(INT_RETVAL,),
+                                                origin="frame"))
+                    else:
+                        new_instrs.append(Instr(Opcode.FMOV, dest=dest,
+                                                srcs=(FP_RETVAL,),
+                                                origin="frame"))
+            elif instr.op is Opcode.RET and instr.srcs:
+                value = instr.srcs[0]
+                if isinstance(value, Imm) or value.cls is RClass.INT:
+                    new_instrs.append(Instr(Opcode.MOVE, dest=INT_RETVAL,
+                                            srcs=(value,), origin="frame"))
+                else:
+                    new_instrs.append(Instr(Opcode.FMOV, dest=FP_RETVAL,
+                                            srcs=(value,), origin="frame"))
+                new_instrs.append(Instr(Opcode.RET, origin=instr.origin))
+            else:
+                new_instrs.append(instr)
+        block.instrs = new_instrs
+
+
+def insert_prologue_epilogue(
+    fn: Function,
+    frame: FrameLayout,
+    callee_saves: list[PhysReg],
+    param_homes: dict[VReg, PhysReg],
+    is_entry: bool = False,
+) -> None:
+    """Insert frame management code and resolve symbolic offsets.
+
+    ``callee_saves`` lists the allocatable core registers this function
+    writes; ``param_homes`` maps each register-allocated parameter to its
+    assigned physical register (spilled parameters live in their incoming
+    argument slot already).  The program entry function has no caller whose
+    registers need protecting, so ``is_entry`` suppresses callee-save code.
+    """
+    if is_entry:
+        callee_saves = []
+    # Reserve save slots up front so the frame size is final before any
+    # SP-relative code is emitted.
+    for reg in callee_saves:
+        frame.save_slot(reg)
+    size = frame.size
+    prologue: list[Instr] = []
+    if size:
+        prologue.append(Instr(Opcode.SUB, dest=SP, srcs=(SP, Imm(size)),
+                              origin="frame"))
+    for reg in callee_saves:
+        op = Opcode.STORE if reg.cls is RClass.INT else Opcode.FSTORE
+        prologue.append(Instr(op, srcs=(reg, SP), imm=frame.save_slot(reg),
+                              origin="spill"))
+    for i, param in enumerate(fn.params):
+        home = param_homes.get(param)
+        if home is None:
+            continue  # spilled parameter: lives in its InArg slot
+        op = Opcode.LOAD if home.cls is RClass.INT else Opcode.FLOAD
+        prologue.append(Instr(op, dest=home, srcs=(SP,), imm=InArg(i),
+                              origin="frame"))
+
+    epilogue: list[Instr] = []
+    for reg in callee_saves:
+        op = Opcode.LOAD if reg.cls is RClass.INT else Opcode.FLOAD
+        epilogue.append(Instr(op, dest=reg, srcs=(SP,), imm=frame.save_slot(reg),
+                              origin="spill"))
+    if size:
+        epilogue.append(Instr(Opcode.ADD, dest=SP, srcs=(SP, Imm(size)),
+                              origin="frame"))
+
+    if prologue:
+        # A fresh entry block keeps the prologue out of any loop that might
+        # target the old entry.
+        old_entry = fn.entry.name
+        entry = fn.new_block(f"{fn.name}.prologue")
+        entry.instrs = prologue + [Instr(Opcode.JMP, label=old_entry,
+                                         origin="frame")]
+        fn.blocks.remove(entry)
+        fn.blocks.insert(0, entry)
+    if epilogue:
+        for block in fn.blocks:
+            term = block.terminator
+            if term is not None and term.op is Opcode.RET:
+                block.instrs[-1:-1] = [ins.copy() for ins in epilogue]
+
+    # Resolve every symbolic memory offset now that F is known.
+    for block in fn.blocks:
+        for instr in block.instrs:
+            if instr.is_mem and not isinstance(instr.imm, int):
+                instr.imm = frame.resolve(instr.imm)
+
+
+def check_no_symbolic_offsets(fn: Function) -> None:
+    for block in fn.blocks:
+        for instr in block.instrs:
+            if instr.is_mem and not isinstance(instr.imm, int):
+                raise CompileError(
+                    f"{fn.name}/{block.name}: unresolved offset {instr.imm!r}"
+                )

@@ -1,0 +1,99 @@
+"""Stack frame layout and symbolic slot sentinels.
+
+The calling convention (see DESIGN.md):
+
+* the stack grows toward lower addresses in word-sized slots; ``r0`` is SP;
+* the caller stores outgoing argument *i* at ``SP - (i+1)`` (just below its
+  own frame, inside the callee's future frame);
+* the callee's prologue performs ``SP -= F``; incoming argument *i* then
+  lives at ``SP + F - (i+1)`` and local slot *j* at ``SP + j``;
+* allocatable core registers are callee-save; extended registers are
+  caller-save around call sites (forced by the ``jsr``/``rts`` map reset,
+  paper section 4.1).
+
+Because ``F`` is only known after register allocation, the compiler emits
+memory offsets as the symbolic sentinels below and resolves them in
+``FrameLayout.finalize``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CompileError
+from repro.isa.registers import PhysReg, VReg
+
+
+@dataclass(frozen=True, slots=True)
+class OutArg:
+    """Outgoing argument slot: resolves to ``-(index + 1)`` off SP."""
+
+    index: int
+
+
+@dataclass(frozen=True, slots=True)
+class InArg:
+    """Incoming argument slot: resolves to ``F - (index + 1)`` off SP."""
+
+    index: int
+
+
+@dataclass(frozen=True, slots=True)
+class LocalSlot:
+    """A local frame slot: resolves to its slot index off SP."""
+
+    sid: int
+
+
+class FrameLayout:
+    """Accumulates frame slots for one function and resolves sentinels."""
+
+    def __init__(self, num_params: int) -> None:
+        self.num_params = num_params
+        self._next_sid = 0
+        self._spill_slots: dict[VReg, LocalSlot | InArg] = {}
+        self._save_slots: dict[PhysReg, LocalSlot] = {}
+
+    def new_slot(self) -> LocalSlot:
+        slot = LocalSlot(self._next_sid)
+        self._next_sid += 1
+        return slot
+
+    def spill_slot(self, vreg: VReg) -> LocalSlot | InArg:
+        """The frame slot backing a spilled virtual register."""
+        slot = self._spill_slots.get(vreg)
+        if slot is None:
+            slot = self.new_slot()
+            self._spill_slots[vreg] = slot
+        return slot
+
+    def assign_param_slot(self, vreg: VReg, index: int) -> None:
+        """Spilled parameters live directly in their incoming-arg slot."""
+        self._spill_slots[vreg] = InArg(index)
+
+    def save_slot(self, reg: PhysReg) -> LocalSlot:
+        """The slot used to save/restore physical register *reg*."""
+        slot = self._save_slots.get(reg)
+        if slot is None:
+            slot = self.new_slot()
+            self._save_slots[reg] = slot
+        return slot
+
+    @property
+    def size(self) -> int:
+        """Total frame size ``F`` in words (locals + incoming-arg area)."""
+        return self._next_sid + self.num_params
+
+    def resolve(self, imm: object) -> int:
+        """Resolve a (possibly symbolic) memory offset to a word offset."""
+        if isinstance(imm, int):
+            return imm
+        if isinstance(imm, OutArg):
+            return -(imm.index + 1)
+        if isinstance(imm, InArg):
+            return self.size - (imm.index + 1)
+        if isinstance(imm, LocalSlot):
+            if imm.sid >= self._next_sid:
+                raise CompileError(f"unknown local slot {imm}")
+            return imm.sid
+        raise CompileError(f"unresolvable memory offset {imm!r}")

@@ -1,0 +1,119 @@
+"""Lowering: block layout, label resolution, and program flattening.
+
+Blocks are laid out greedily so that every conditional branch is physically
+followed by its fall-through block; when a fall-through block has already
+been placed elsewhere, a one-instruction trampoline (``jmp``) is inserted.
+Functions are concatenated with ``main`` first; call targets resolve to
+function entry points, and branch targets to instruction indices.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CompileError
+from repro.ir.function import Function, Module
+from repro.isa.instruction import Instr
+from repro.isa.opcodes import NEGATED_BRANCH, Opcode
+from repro.sim.program import MachineProgram
+
+
+def layout_function(fn: Function) -> list:
+    """Order blocks with fall-throughs adjacent; returns the block order.
+
+    Profile-guided branch normalization happens here too: a conditional
+    branch whose *taken* target is the hot successor (and still forward) is
+    negated so the hot path falls through — taken branches end an issue
+    group, so keeping hot paths on the fall-through side is what lets the
+    superscalar front end stream through them (the trace-layout half of the
+    IMPACT compiler's ILP strategy).  May append trampoline blocks to *fn*.
+    """
+    placed: list = []
+    placed_names: set[str] = set()
+    trampolines = 0
+
+    current = fn.entry
+    while True:
+        placed.append(current)
+        placed_names.add(current.name)
+        term = current.terminator
+        next_block = None
+        if term is not None and term.is_cond_branch:
+            if (term.hint_taken
+                    and term.op in NEGATED_BRANCH
+                    and term.label != current.name
+                    and term.label not in placed_names):
+                term.op = NEGATED_BRANCH[term.op]
+                term.label, current.fallthrough = (current.fallthrough,
+                                                   term.label)
+                term.hint_taken = False
+            ft = current.fallthrough
+            if ft not in placed_names:
+                next_block = fn.block(ft)
+            else:
+                tramp = fn.new_block(f"{ft}.tramp{trampolines}")
+                trampolines += 1
+                tramp.instrs.append(Instr(Opcode.JMP, label=ft,
+                                          origin="frame"))
+                current.fallthrough = tramp.name
+                next_block = tramp
+        if next_block is None:
+            next_block = next(
+                (b for b in fn.blocks if b.name not in placed_names), None
+            )
+        if next_block is None:
+            return placed
+        current = next_block
+
+
+def lower_module(module: Module, entry: str = "main",
+                 name: str | None = None) -> MachineProgram:
+    """Flatten *module* into an executable :class:`MachineProgram`.
+
+    All functions must already be fully allocated (physical operands only)
+    with symbolic frame offsets resolved.
+    """
+    if entry not in module.functions:
+        raise CompileError(f"no entry function {entry!r}")
+    order = [module.functions[entry]] + [
+        fn for fname, fn in module.functions.items() if fname != entry
+    ]
+
+    instrs: list[Instr] = []
+    label_at: dict[tuple[str, str], int] = {}
+    func_ranges: dict[str, tuple[int, int]] = {}
+    pending: list[tuple[int, Instr, str]] = []  # (index, instr, fn name)
+
+    for fn in order:
+        start = len(instrs)
+        for block in layout_function(fn):
+            label_at[(fn.name, block.name)] = len(instrs)
+            for instr in block.instrs:
+                if instr.label is not None:
+                    pending.append((len(instrs), instr, fn.name))
+                instrs.append(instr)
+        func_ranges[fn.name] = (start, len(instrs))
+
+    targets: list[int | None] = [None] * len(instrs)
+    for index, instr, fname in pending:
+        if instr.op is Opcode.CALL:
+            callee = instr.label
+            if callee not in func_ranges:
+                raise CompileError(f"call to unknown function {callee!r}")
+            targets[index] = func_ranges[callee][0]
+        elif instr.op is Opcode.RET:
+            continue
+        else:
+            key = (fname, instr.label)
+            if key not in label_at:
+                raise CompileError(
+                    f"{fname}: unresolved branch target {instr.label!r}"
+                )
+            targets[index] = label_at[key]
+
+    return MachineProgram(
+        instrs=instrs,
+        targets=targets,
+        initial_memory=module.initial_memory(),
+        entry=func_ranges[entry][0],
+        name=name or module.name,
+        func_ranges=func_ranges,
+    )

@@ -1,0 +1,33 @@
+"""Constant folding: evaluate pure operations with all-immediate sources."""
+
+from __future__ import annotations
+
+from repro.errors import SimulationFault
+from repro.ir.function import Function
+from repro.isa.instruction import Instr
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import Imm, RClass
+from repro.isa.semantics import ALU_FUNCS
+
+
+def fold_constants(fn: Function) -> int:
+    """Fold constant computations into ``li``/``lif``; returns fold count."""
+    folded = 0
+    for block in fn.blocks:
+        for i, instr in enumerate(block.instrs):
+            if instr.op not in ALU_FUNCS:
+                continue
+            if not instr.srcs or not all(isinstance(s, Imm) for s in instr.srcs):
+                continue
+            try:
+                value = ALU_FUNCS[instr.op](*(s.value for s in instr.srcs))
+            except SimulationFault:
+                continue  # leave faulting code in place (e.g. div by zero)
+            if instr.dest.cls is RClass.INT:
+                block.instrs[i] = Instr(Opcode.LI, dest=instr.dest,
+                                        imm=int(value), origin=instr.origin)
+            else:
+                block.instrs[i] = Instr(Opcode.LIF, dest=instr.dest,
+                                        imm=float(value), origin=instr.origin)
+            folded += 1
+    return folded

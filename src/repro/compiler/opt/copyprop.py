@@ -1,0 +1,61 @@
+"""Local copy and constant propagation.
+
+Within each basic block, ``move d, s`` makes later uses of ``d`` read ``s``
+directly, and ``li d, c`` makes later *integer* uses of ``d`` read the
+immediate.  Bindings are killed when either side is redefined.  FP source
+slots never receive immediates (the ISA has no FP-immediate operand form
+other than ``lif``), so FP constants propagate only through register copies.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.isa.opcodes import Opcode, spec
+from repro.isa.registers import Imm, RClass, VReg
+
+
+def propagate_copies(fn: Function) -> int:
+    """Propagate copies/constants locally; returns replacement count."""
+    replaced = 0
+    for block in fn.blocks:
+        env: dict[VReg, VReg | Imm] = {}
+        for instr in block.instrs:
+            # Rewrite sources through the environment.
+            if env and instr.srcs:
+                src_specs = spec(instr.op).srcs
+                new_srcs = list(instr.srcs)
+                changed = False
+                for i, s in enumerate(new_srcs):
+                    if not isinstance(s, VReg):
+                        continue
+                    repl = env.get(s)
+                    if repl is None:
+                        continue
+                    if isinstance(repl, Imm):
+                        # Immediates are only legal in integer source slots,
+                        # and calls keep register arguments until lowering.
+                        if instr.op is Opcode.CALL:
+                            continue
+                        if i >= len(src_specs) or src_specs[i] is not RClass.INT:
+                            continue
+                    new_srcs[i] = repl
+                    changed = True
+                if changed:
+                    instr.srcs = tuple(new_srcs)
+                    replaced += 1
+
+            dest = instr.dest
+            if not isinstance(dest, VReg):
+                continue
+            # Kill bindings invalidated by this definition.
+            env.pop(dest, None)
+            for key in [k for k, v in env.items() if v == dest]:
+                del env[key]
+            # Record new bindings.
+            if instr.op in (Opcode.MOVE, Opcode.FMOV):
+                src = instr.srcs[0]
+                if isinstance(src, (VReg, Imm)) and src != dest:
+                    env[dest] = src
+            elif instr.op is Opcode.LI:
+                env[dest] = Imm(instr.imm)
+    return replaced

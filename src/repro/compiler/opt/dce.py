@@ -1,0 +1,40 @@
+"""Global dead-code elimination for pure instructions."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.ir.function import Function
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import VReg
+from repro.isa.semantics import ALU_FUNCS
+
+_REMOVABLE = frozenset(ALU_FUNCS) | {Opcode.LI, Opcode.LIF, Opcode.NOP}
+
+
+def eliminate_dead_code(fn: Function) -> int:
+    """Remove pure instructions whose results are never used."""
+    removed_total = 0
+    while True:
+        uses: Counter = Counter()
+        for _, instr in fn.iter_instrs():
+            for s in instr.reg_srcs():
+                if isinstance(s, VReg):
+                    uses[s] += 1
+        removed = 0
+        for block in fn.blocks:
+            kept = []
+            for instr in block.instrs:
+                dead = (
+                    instr.op in _REMOVABLE
+                    and isinstance(instr.dest, VReg)
+                    and uses[instr.dest] == 0
+                ) or instr.op is Opcode.NOP
+                if dead:
+                    removed += 1
+                else:
+                    kept.append(instr)
+            block.instrs = kept
+        removed_total += removed
+        if removed == 0:
+            return removed_total

@@ -1,0 +1,251 @@
+"""Counted-loop unrolling with register renaming.
+
+This pass stands in for the IMPACT compiler's ILP transformations (superblock
+formation and friends): it replicates the body of hot innermost loops inside
+one basic block with fully renamed temporaries, giving the list scheduler
+multiple independent iterations to overlap.  This is exactly the kind of
+optimization that "increase[s] the number of variables that are
+simultaneously live" (paper section 1) and thereby drives register pressure.
+
+Shape handled: a *do-while self-loop* — a block ``B`` whose terminator is a
+conditional branch back to ``B`` of the form ``b{le,lt,ge,gt} iv, limit`` with
+``iv`` updated exactly once in the block by ``iv := iv +/- constant`` and
+``limit`` loop-invariant.  The transformed CFG is::
+
+    preds -> P:  limit2 = limit - (k-1)*step
+                 if cond(iv, limit2) -> M else B
+    M:  body_1 ... body_k (renamed; copy k writes the original names)
+        if cond(iv, limit2) -> M else C
+    C:  if cond(iv, limit) -> B else exit
+    B:  original do-while loop (remainder iterations)
+
+The guard condition ``cond(iv, limit - (k-1)*step)`` guarantees the next
+``k`` iterations all continue, so the intermediate exit tests can be elided;
+the remainder loop ``B`` picks up the leftover iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.function import BasicBlock, Function
+from repro.isa.instruction import Instr
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import Imm, RClass, VReg
+
+_UP_BRANCHES = {Opcode.BLE, Opcode.BLT}
+_DOWN_BRANCHES = {Opcode.BGE, Opcode.BGT}
+_COUNTED_BRANCHES = _UP_BRANCHES | _DOWN_BRANCHES
+_EXCLUDED_OPS = {Opcode.CALL, Opcode.RET, Opcode.TRAP, Opcode.RTE,
+                 Opcode.MTPSW}
+
+#: Reduction operations safe to reassociate across unrolled copies.  Integer
+#: add/or/xor are exact under wrap-around arithmetic; FP add changes rounding
+#: (gated by the ``reassociate_fp`` option and verified against the optimized
+#: module's interpretation downstream).
+_REASSOC_OPS = {Opcode.ADD, Opcode.OR, Opcode.XOR, Opcode.FADD}
+
+
+@dataclass
+class _Candidate:
+    block: BasicBlock
+    iv: VReg
+    limit: VReg | Imm
+    step: int
+    branch_op: Opcode
+
+
+def _match_candidate(fn: Function, block: BasicBlock) -> _Candidate | None:
+    term = block.terminator
+    if term is None or term.op not in _COUNTED_BRANCHES:
+        return None
+    if term.label != block.name:
+        return None  # not a self-loop
+    if block is fn.entry:
+        return None
+    iv, limit = term.srcs[0], term.srcs[1]
+    if not isinstance(iv, VReg):
+        return None
+    body = block.body()
+    iv_defs = [ins for ins in body if ins.dest == iv]
+    if len(iv_defs) != 1:
+        return None
+    update = iv_defs[0]
+    if update.op not in (Opcode.ADD, Opcode.SUB):
+        return None
+    if update.srcs[0] != iv or not isinstance(update.srcs[1], Imm):
+        return None
+    step = update.srcs[1].value
+    if update.op is Opcode.SUB:
+        step = -step
+    if step == 0:
+        return None
+    if term.op in _UP_BRANCHES and step <= 0:
+        return None
+    if term.op in _DOWN_BRANCHES and step >= 0:
+        return None
+    if isinstance(limit, VReg) and any(ins.dest == limit for ins in body):
+        return None
+    if any(ins.op in _EXCLUDED_OPS for ins in block.instrs):
+        return None
+    return _Candidate(block, iv, limit, step, term.op)
+
+
+def _redirect_predecessors(fn: Function, old: str, new: str,
+                           skip: set[str]) -> None:
+    for block in fn.blocks:
+        if block.name in skip:
+            continue
+        term = block.terminator
+        if term is not None and term.label == old and term.op is not Opcode.RET:
+            term.label = new
+        if block.fallthrough == old:
+            block.fallthrough = new
+
+
+def _find_accumulators(body: list[Instr], term: Instr,
+                       reassociate_fp: bool) -> dict[VReg, int]:
+    """Accumulator reductions eligible for reassociation.
+
+    ``v`` qualifies when its only definition in the body is
+    ``v = op(v, t)`` with an associative ``op``, and ``v`` is read nowhere
+    else (including the terminator).  Returns ``{v: body index of the def}``.
+    """
+    defs: dict[VReg, list[int]] = {}
+    reads: dict[VReg, int] = {}
+    for idx, ins in enumerate(body):
+        if isinstance(ins.dest, VReg):
+            defs.setdefault(ins.dest, []).append(idx)
+        for s in ins.reg_srcs():
+            if isinstance(s, VReg):
+                reads[s] = reads.get(s, 0) + 1
+    for s in term.reg_srcs():
+        if isinstance(s, VReg):
+            reads[s] = reads.get(s, 0) + 100  # terminator uses disqualify
+    found: dict[VReg, int] = {}
+    for v, positions in defs.items():
+        if len(positions) != 1:
+            continue
+        ins = body[positions[0]]
+        if ins.op not in _REASSOC_OPS or len(ins.srcs) != 2:
+            continue
+        if ins.srcs[0] != v or ins.srcs[1] == v:
+            continue
+        if reads.get(v, 0) != 1:  # only its own recurrence reads it
+            continue
+        if v.cls is RClass.FP and not reassociate_fp:
+            continue
+        found[v] = positions[0]
+    return found
+
+
+def _unroll_one(fn: Function, cand: _Candidate, factor: int,
+                reassociate_fp: bool) -> None:
+    block = cand.block
+    body = block.body()
+    exit_name = block.fallthrough
+    adjust = (factor - 1) * cand.step
+    accumulators = _find_accumulators(body, block.terminator, reassociate_fp)
+    accumulators.pop(cand.iv, None)
+
+    pre = fn.new_block(f"{block.name}.pre")
+    main = fn.new_block(f"{block.name}.u{factor}")
+    check = fn.new_block(f"{block.name}.chk")
+
+    _redirect_predecessors(fn, block.name, pre.name,
+                           skip={block.name, pre.name, main.name, check.name})
+
+    # Partial accumulators: copy 1 keeps accumulating into the original
+    # register; copies 2..factor get fresh loop-carried partials initialized
+    # to the identity in the preheader and reduced back after the loop.
+    partials: dict[VReg, list[VReg]] = {}
+    for v in accumulators:
+        parts = [v]
+        for copy in range(2, factor + 1):
+            p = fn.new_vreg(v.cls, f"{v.name}.p{copy}")
+            if v.cls is RClass.FP:
+                pre.instrs.append(Instr(Opcode.LIF, dest=p, imm=0.0))
+            else:
+                pre.instrs.append(Instr(Opcode.LI, dest=p, imm=0))
+            parts.append(p)
+        partials[v] = parts
+
+    # Preheader: compute the adjusted limit and guard the unrolled loop.
+    if isinstance(cand.limit, Imm):
+        limit2: VReg | Imm = Imm(cand.limit.value - adjust)
+    else:
+        limit2 = fn.new_vreg(cand.iv.cls, f"{block.name}.lim2")
+        pre.instrs.append(
+            Instr(Opcode.SUB, dest=limit2, srcs=(cand.limit, Imm(adjust)))
+        )
+    pre.instrs.append(Instr(cand.branch_op, srcs=(cand.iv, limit2),
+                            label=main.name))
+    pre.fallthrough = block.name
+
+    # Unrolled body: factor copies with renaming; the final copy writes the
+    # original names so the back edge and exits see a consistent state.
+    last_def: dict[VReg, int] = {}
+    for idx, ins in enumerate(body):
+        if isinstance(ins.dest, VReg):
+            last_def[ins.dest] = idx
+    acc_def_at = {idx: v for v, idx in accumulators.items()}
+    cur: dict[VReg, VReg] = {}
+    for copy in range(1, factor + 1):
+        for idx, ins in enumerate(body):
+            clone = ins.copy()
+            acc = acc_def_at.get(idx)
+            if acc is not None:
+                part = partials[acc][copy - 1]
+                other = clone.srcs[1]
+                if isinstance(other, VReg):
+                    other = cur.get(other, other)
+                clone.srcs = (part, other)
+                clone.dest = part
+                main.instrs.append(clone)
+                continue
+            clone.srcs = tuple(
+                cur.get(s, s) if isinstance(s, VReg) else s for s in clone.srcs
+            )
+            dest = clone.dest
+            if isinstance(dest, VReg):
+                if copy == factor and last_def[dest] == idx:
+                    new_dest = dest
+                else:
+                    new_dest = fn.new_vreg(dest.cls, f"{dest.name}.u{copy}")
+                clone.dest = new_dest
+                cur[dest] = new_dest
+            main.instrs.append(clone)
+    main.instrs.append(Instr(cand.branch_op, srcs=(cand.iv, limit2),
+                             label=main.name))
+    main.fallthrough = check.name
+
+    # Remainder check: first reduce the partials (only the unrolled path
+    # reaches this block), then decide whether remainder iterations remain.
+    for v, (first, *rest) in partials.items():
+        op = body[accumulators[v]].op
+        for p in rest:
+            check.instrs.append(Instr(op, dest=v, srcs=(v, p)))
+    check.instrs.append(Instr(cand.branch_op, srcs=(cand.iv, cand.limit),
+                              label=block.name))
+    check.fallthrough = exit_name
+
+
+def unroll_loops(fn: Function, factor: int = 4,
+                 max_body: int = 64, reassociate_fp: bool = True) -> int:
+    """Unroll qualifying counted self-loops by *factor*; returns loop count.
+
+    Loops whose body exceeds *max_body* instructions are left alone to bound
+    code growth.  ``reassociate_fp`` additionally splits FP-add reduction
+    recurrences into per-copy partial sums (changes rounding; integer
+    reductions are always split, exactly).
+    """
+    if factor < 2:
+        return 0
+    candidates = []
+    for block in list(fn.blocks):
+        cand = _match_candidate(fn, block)
+        if cand is not None and len(block.body()) <= max_body:
+            candidates.append(cand)
+    for cand in candidates:
+        _unroll_one(fn, cand, factor, reassociate_fp)
+    return len(candidates)

@@ -1,0 +1,222 @@
+"""The compiler driver: IR module -> optimized, allocated machine program.
+
+Stage order (see DESIGN.md):
+
+1. copy the module (compilation never mutates the caller's IR);
+2. classical + ILP optimization;
+3. re-profile by interpretation (priorities and branch hints must describe
+   the *optimized* code; this also re-checks semantic equivalence upstream);
+4. call lowering to the stack convention;
+5. priority graph-coloring allocation (core / extended / spill) with
+   connection-window reservation;
+6. spill and extended-register caller-save insertion;
+7. prologue/epilogue insertion and frame-offset resolution;
+8. connect insertion through the window emulation of the mapping table;
+9. profile-driven static branch hints;
+10. machine-aware list scheduling;
+11. layout and flattening into a :class:`~repro.sim.program.MachineProgram`.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+from repro.compiler.alias import annotate_module
+from repro.compiler.callconv import (
+    check_no_symbolic_offsets,
+    insert_prologue_epilogue,
+    lower_calls,
+)
+from repro.compiler.lower import lower_module
+from repro.compiler.opt import OptOptions, optimize_module
+from repro.compiler.regalloc.allocator import (
+    AllocationOptions,
+    AllocationResult,
+    _SharedCounters,
+    allocate_function,
+    apply_allocation,
+)
+from repro.compiler.regalloc.rc_rewrite import check_encodable, insert_connects
+from repro.compiler.sched.listsched import schedule_function
+from repro.ir.function import Module
+from repro.ir.interp import Interpreter, InterpResult, Profile
+from repro.isa.registers import RClass, UNLIMITED
+from repro.sim.config import MachineConfig
+from repro.sim.program import MachineProgram
+
+
+@dataclass
+class CompileOptions:
+    opt: OptOptions = field(default_factory=OptOptions)
+    alloc: AllocationOptions = field(default_factory=AllocationOptions)
+    schedule: bool = True
+    #: Step limit for the profiling interpretation.
+    profile_step_limit: int = 50_000_000
+
+
+@dataclass
+class CompileStats:
+    """Static code-size accounting (Figure 9's raw material)."""
+
+    total_instructions: int = 0
+    program_instructions: int = 0
+    spill_instructions: int = 0
+    connect_instructions: int = 0
+    callsave_instructions: int = 0
+    frame_instructions: int = 0
+    spilled_vregs: int = 0
+    extended_vregs: int = 0
+
+    @property
+    def overhead_instructions(self) -> int:
+        """Code added because registers ran out (spill/connect/callsave)."""
+        return (self.spill_instructions + self.connect_instructions
+                + self.callsave_instructions)
+
+    @property
+    def base_instructions(self) -> int:
+        return self.total_instructions - self.overhead_instructions
+
+    @property
+    def code_size_increase(self) -> float:
+        """Fractional code growth due to allocation overhead."""
+        base = self.base_instructions
+        return self.overhead_instructions / base if base else 0.0
+
+    @property
+    def callsave_increase(self) -> float:
+        """The Figure 9 'black bar': extended save/restore share of growth."""
+        base = self.base_instructions
+        return self.callsave_instructions / base if base else 0.0
+
+
+@dataclass
+class CompileOutput:
+    program: MachineProgram
+    module: Module
+    profile: Profile
+    stats: CompileStats
+    allocations: dict[str, AllocationResult]
+    #: The profiling interpretation of the *optimized* module; compiled
+    #: output must reproduce exactly these results (FP reassociation makes
+    #: them differ from the original module's by rounding only).
+    interp: InterpResult | None = None
+
+
+def _call_graph_reachability(module: Module) -> dict[str, set[str]]:
+    """Map each function to the set of functions reachable from it."""
+    from repro.isa.opcodes import Opcode
+
+    edges: dict[str, set[str]] = {name: set() for name in module.functions}
+    for name, fn in module.functions.items():
+        for _, instr in fn.iter_instrs():
+            if instr.op is Opcode.CALL:
+                edges[name].add(instr.label)
+    reach: dict[str, set[str]] = {}
+    for name in module.functions:
+        seen: set[str] = set()
+        stack = [name]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(edges.get(node, ()))
+        reach[name] = seen
+    return reach
+
+
+def compile_module(module: Module, config: MachineConfig,
+                   options: CompileOptions | None = None,
+                   entry: str = "main") -> CompileOutput:
+    """Compile *module* for *config* and return the executable program."""
+    options = options or CompileOptions()
+    work = copy.deepcopy(module)
+    optimize_module(work, options.opt)
+    interp_result = Interpreter(
+        work, step_limit=options.profile_step_limit
+    ).run(entry)
+    profile = interp_result.profile
+    annotate_module(work)  # memory-region tags for scheduler disambiguation
+
+    for fn in work.functions.values():
+        if options.schedule:
+            # Prepass scheduling over *virtual* registers (the IMPACT-style
+            # phase order): with no false WAW/WAR dependences the scheduler
+            # freely overlaps independent work, which is precisely what
+            # "tends to increase the number of variables that are
+            # simultaneously live" (paper section 1) — the allocator then
+            # sees the scheduled order's higher register pressure.
+            schedule_function(fn, config, None)
+        lower_calls(fn)
+
+    shared = _SharedCounters()
+    allocations: dict[str, AllocationResult] = {}
+    ext_threshold = {
+        RClass.INT: config.int_spec.core,
+        RClass.FP: config.fp_spec.core,
+    }
+    stats = CompileStats()
+    unlimited = config.int_spec.core >= UNLIMITED
+    reach = _call_graph_reachability(work) if unlimited else None
+
+    for fn in work.functions.values():
+        result = allocate_function(
+            fn, profile, config.int_spec, config.fp_spec,
+            options.alloc, shared_counters=shared,
+        )
+        allocations[fn.name] = result
+        stats.spilled_vregs += len(result.spilled)
+        stats.extended_vregs += sum(
+            1 for r in result.assignment.values()
+            if r.num >= ext_threshold[r.cls]
+        )
+        if unlimited:
+            # Globally unique register ranges make callee clobbering
+            # impossible except through recursion: save a live register
+            # only when the callee can re-enter this function.
+            fname = fn.name
+            save_policy = lambda label, reg, f=fname: f in reach[label]
+        else:
+            save_policy = None
+        apply_allocation(fn, result, ext_threshold, save_policy)
+        insert_prologue_epilogue(fn, result.frame, result.callee_saves,
+                                 result.param_homes,
+                                 is_entry=fn.name == entry)
+        check_no_symbolic_offsets(fn)
+
+        tracked_indices: dict[RClass, list[int]] = {}
+        for cls in (RClass.INT, RClass.FP):
+            windows = result.windows.get(cls)
+            if windows:
+                spec = config.spec_for(cls)
+                steal_pool = [c for c in spec.allocatable_core()
+                              if c not in set(windows)]
+                insert_connects(fn, cls, ext_threshold[cls], windows,
+                                config.rc_model, steal_pool=steal_pool)
+                tracked_indices[cls] = windows + steal_pool
+            if not unlimited:
+                check_encodable(fn, cls, ext_threshold[cls])
+
+        # Profile-driven static branch hints (paper section 5.2: extra
+        # branch opcodes "facilitate static branch prediction").
+        for block in fn.blocks:
+            term = block.terminator
+            if term is not None and term.is_cond_branch:
+                term.hint_taken = profile.predict_taken(fn.name, block.name)
+
+        if options.schedule:
+            schedule_function(fn, config, tracked_indices or None)
+
+    program = lower_module(work, entry=entry, name=module.name)
+    counts = program.static_counts()
+    stats.total_instructions = len(program)
+    stats.program_instructions = counts.get(None, 0)
+    stats.spill_instructions = counts.get("spill", 0)
+    stats.connect_instructions = counts.get("connect", 0)
+    stats.callsave_instructions = counts.get("callsave", 0)
+    stats.frame_instructions = counts.get("frame", 0)
+    return CompileOutput(program=program, module=work, profile=profile,
+                         stats=stats, allocations=allocations,
+                         interp=interp_result)

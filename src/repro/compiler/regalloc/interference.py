@@ -1,0 +1,74 @@
+"""Interference graph construction over virtual registers."""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.liveness import LivenessInfo, liveness
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import VReg
+
+
+class InterferenceGraph:
+    """Undirected interference graph; same-class edges only matter."""
+
+    def __init__(self) -> None:
+        self.adj: dict[VReg, set[VReg]] = {}
+
+    def ensure(self, v: VReg) -> None:
+        self.adj.setdefault(v, set())
+
+    def add_edge(self, a: VReg, b: VReg) -> None:
+        if a == b or a.cls is not b.cls:
+            return
+        self.adj.setdefault(a, set()).add(b)
+        self.adj.setdefault(b, set()).add(a)
+
+    def neighbors(self, v: VReg) -> set[VReg]:
+        return self.adj.get(v, set())
+
+    def degree(self, v: VReg) -> int:
+        return len(self.adj.get(v, ()))
+
+    def interferes(self, a: VReg, b: VReg) -> bool:
+        return b in self.adj.get(a, ())
+
+
+def build_interference(fn: Function,
+                       info: LivenessInfo | None = None) -> InterferenceGraph:
+    """Build the interference graph for *fn*.
+
+    A definition interferes with everything live after it, with the classic
+    exception that the destination of a copy does not interfere with its
+    source.  Parameters are treated as defined on function entry.
+    """
+    info = info or liveness(fn)
+    graph = InterferenceGraph()
+    for v in fn.vregs():
+        graph.ensure(v)
+
+    # Parameters are all "defined" at entry: they interfere with each other
+    # and with anything else live into the entry block.
+    entry_live = info.live_in[fn.entry.name] | set(fn.params)
+    params = list(fn.params)
+    for i, p in enumerate(params):
+        for q in params[i + 1:]:
+            graph.add_edge(p, q)
+        for other in entry_live:
+            if other != p:
+                graph.add_edge(p, other)
+
+    for block in fn.blocks:
+        after = info.live_across_instr(block)
+        for i, instr in enumerate(block.instrs):
+            dest = instr.dest
+            if not isinstance(dest, VReg):
+                continue
+            copy_src = None
+            if instr.op in (Opcode.MOVE, Opcode.FMOV):
+                src = instr.srcs[0]
+                if isinstance(src, VReg):
+                    copy_src = src
+            for live in after[i]:
+                if live is not dest and live != copy_src:
+                    graph.add_edge(dest, live)
+    return graph

@@ -1,0 +1,29 @@
+"""Exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class IRError(ReproError):
+    """Malformed IR: verifier failures, bad operands, unknown blocks."""
+
+
+class CompileError(ReproError):
+    """The compiler could not produce machine code for a function."""
+
+
+class AllocationError(CompileError):
+    """Register allocation failed (e.g. no colorable solution after spills)."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an illegal state (bad PC, bad operands)."""
+
+
+class SimulationFault(SimulationError):
+    """A fault raised by the simulated program itself (e.g. divide by zero)."""
+
+
+class ConfigError(ReproError):
+    """An experiment or machine configuration is inconsistent."""

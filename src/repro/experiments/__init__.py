@@ -1,0 +1,38 @@
+"""Experiment harness: figure/table regeneration for the paper's evaluation."""
+
+from repro.experiments.figures import (
+    ALL_FIGURES,
+    ablation_models,
+    ablation_unroll,
+    ablation_windows,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    figure13,
+    table1,
+)
+from repro.experiments.report import FigureResult, Series, geomean
+from repro.experiments.runner import ExperimentRunner, RunRecord
+
+__all__ = [
+    "ALL_FIGURES",
+    "ExperimentRunner",
+    "FigureResult",
+    "RunRecord",
+    "Series",
+    "ablation_models",
+    "ablation_unroll",
+    "ablation_windows",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+    "figure12",
+    "figure13",
+    "geomean",
+    "table1",
+]

@@ -1,0 +1,295 @@
+"""Regeneration of every table and figure in the paper's evaluation.
+
+Each ``figureN`` function sweeps the same parameter space as the paper's
+figure and returns a :class:`~repro.experiments.report.FigureResult` whose
+series hold per-benchmark values (speedups over the single-issue
+unlimited-register scalar-optimization baseline, or code-size percentages
+for Figure 9).  Absolute values differ from the paper's — the benchmarks are
+synthetic reimplementations at reduced scale — but the comparisons the paper
+draws (who wins, how trends move with registers/issue rate/latency) are the
+reproduction targets; see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import FigureResult, Series
+from repro.experiments.runner import ExperimentRunner
+from repro.isa import RClass, table1_rows
+from repro.rc import RCModel
+from repro.sim import paper_machine, unlimited_machine
+from repro.workloads import ALL_BENCHMARKS, workload
+
+#: Core-size sweep: integer file sizes paired with FP file sizes (FP doubles
+#: occupy register pairs, hence the doubled axis; paper section 5.2).
+SIZE_PAIRS = ((8, 16), (16, 32), (24, 48), (32, 64), (64, 128))
+ISSUE_RATES = (1, 2, 4, 8)
+
+
+def _config(benchmark: str, *, rc: bool, int_core: int = 64,
+            fp_core: int = 64, issue: int = 4, load: int = 2,
+            channels: int | None = None, connect: int = 0,
+            extra_stage: bool = False,
+            model: RCModel = RCModel.WRITE_RESET_READ_UPDATE):
+    """A paper-style config: RC (if any) applies to the benchmark's hot
+    register class; the other file is fixed at 64 (section 5.2)."""
+    kind = workload(benchmark).kind
+    rc_class = None
+    if rc:
+        rc_class = RClass.INT if kind == "int" else RClass.FP
+    return paper_machine(
+        issue_width=issue,
+        load_latency=load,
+        int_core=int_core if kind == "int" else 64,
+        fp_core=fp_core if kind == "fp" else 64,
+        rc_class=rc_class,
+        connect_latency=connect,
+        extra_decode_stage=extra_stage,
+        mem_channels=channels,
+        rc_model=model,
+    )
+
+
+def _core_sizes(benchmark: str, pair: tuple[int, int]) -> dict:
+    return {"int_core": pair[0], "fp_core": pair[1]}
+
+
+def table1() -> FigureResult:
+    fig = FigureResult("Table 1", "Instruction latencies")
+    s = Series("cycles")
+    for name, latency in table1_rows():
+        try:
+            s.values[name] = float(latency)
+        except ValueError:
+            s.values[name] = float(latency.split("/")[0].split()[0])
+        fig.notes.append(f"{name}: {latency}")
+    fig.series.append(s)
+    return fig
+
+
+def figure7(runner: ExperimentRunner,
+            benchmarks=ALL_BENCHMARKS) -> FigureResult:
+    """Speedup with unlimited registers, issue rates 1/2/4/8 (memory
+    channels 2/2/2/4)."""
+    fig = FigureResult("Figure 7",
+                       "Speedup, unlimited registers, varying issue rate")
+    for issue in ISSUE_RATES:
+        s = Series(f"{issue}-issue")
+        cfg = unlimited_machine(issue_width=issue)
+        for name in benchmarks:
+            s.values[name] = runner.speedup(name, cfg)
+        fig.series.append(s)
+    return fig
+
+
+def figure8(runner: ExperimentRunner,
+            benchmarks=ALL_BENCHMARKS) -> FigureResult:
+    """Speedup vs number of core registers, 4-issue, 2-cycle loads,
+    with and without RC, plus the unlimited reference."""
+    fig = FigureResult(
+        "Figure 8",
+        "Speedup vs core registers (4-issue, 2-cycle loads); sizes are "
+        "int/fp core counts",
+    )
+    for pair in SIZE_PAIRS:
+        for rc in (False, True):
+            tag = "RC" if rc else "no"
+            s = Series(f"{tag}-{pair[0]}/{pair[1]}")
+            for name in benchmarks:
+                cfg = _config(name, rc=rc, **_core_sizes(name, pair))
+                s.values[name] = runner.speedup(name, cfg)
+            fig.series.append(s)
+    unl = Series("unlimited")
+    for name in benchmarks:
+        unl.values[name] = runner.speedup(name, unlimited_machine(4))
+    fig.series.append(unl)
+    return fig
+
+
+def figure9(runner: ExperimentRunner,
+            benchmarks=ALL_BENCHMARKS) -> FigureResult:
+    """Percent code-size increase after register allocation, same sweep as
+    Figure 8; the with-RC number splits out the save/restore (black bar)
+    share at procedure calls."""
+    fig = FigureResult(
+        "Figure 9",
+        "% code size increase due to spill/connect code (4-issue)",
+    )
+    for pair in SIZE_PAIRS:
+        wo = Series(f"no-{pair[0]}/{pair[1]}")
+        rc = Series(f"RC-{pair[0]}/{pair[1]}")
+        save = Series(f"RCsave-{pair[0]}/{pair[1]}")
+        for name in benchmarks:
+            rec = runner.run(name, _config(name, rc=False,
+                                           **_core_sizes(name, pair)))
+            wo.values[name] = 100.0 * rec.code_size_increase
+            rec = runner.run(name, _config(name, rc=True,
+                                           **_core_sizes(name, pair)))
+            rc.values[name] = 100.0 * rec.code_size_increase
+            save.values[name] = 100.0 * rec.callsave_increase
+        fig.series.extend([wo, rc, save])
+    return fig
+
+
+def _fixed_pressure_config(benchmark: str, *, rc: bool, issue: int,
+                           load: int, **kwargs):
+    """Figures 10-13 fix 16 core integer registers (integer benchmarks) and
+    32 core FP registers (FP benchmarks)."""
+    return _config(benchmark, rc=rc, int_core=16, fp_core=32, issue=issue,
+                   load=load, **kwargs)
+
+
+def _issue_rate_figure(runner: ExperimentRunner, load: int, fid: str,
+                       benchmarks) -> FigureResult:
+    fig = FigureResult(
+        fid,
+        f"Speedup, {load}-cycle loads, 16 int / 32 fp core registers, "
+        "varying issue rate",
+    )
+    for issue in (2, 4, 8):
+        for rc in (False, True):
+            tag = "RC" if rc else "no"
+            s = Series(f"{tag}-{issue}i")
+            for name in benchmarks:
+                cfg = _fixed_pressure_config(name, rc=rc, issue=issue,
+                                             load=load)
+                s.values[name] = runner.speedup(name, cfg)
+            fig.series.append(s)
+        unl = Series(f"unl-{issue}i")
+        for name in benchmarks:
+            unl.values[name] = runner.speedup(
+                name, unlimited_machine(issue_width=issue,
+                                        load_latency=load))
+        fig.series.append(unl)
+    return fig
+
+
+def figure10(runner: ExperimentRunner,
+             benchmarks=ALL_BENCHMARKS) -> FigureResult:
+    return _issue_rate_figure(runner, 2, "Figure 10", benchmarks)
+
+
+def figure11(runner: ExperimentRunner,
+             benchmarks=ALL_BENCHMARKS) -> FigureResult:
+    return _issue_rate_figure(runner, 4, "Figure 11", benchmarks)
+
+
+def figure12(runner: ExperimentRunner,
+             benchmarks=ALL_BENCHMARKS) -> FigureResult:
+    """RC implementation scenarios: {0,1}-cycle connects x {no extra,
+    extra} mapping-table pipeline stage (4-issue, 2-cycle loads)."""
+    fig = FigureResult(
+        "Figure 12",
+        "Speedup by RC implementation scenario (4-issue, 2-cycle loads)",
+    )
+    scenarios = [
+        ("c0", dict(connect=0, extra_stage=False)),
+        ("c0+stage", dict(connect=0, extra_stage=True)),
+        ("c1", dict(connect=1, extra_stage=False)),
+        ("c1+stage", dict(connect=1, extra_stage=True)),
+    ]
+    for label, kw in scenarios:
+        s = Series(label)
+        for name in benchmarks:
+            cfg = _fixed_pressure_config(name, rc=True, issue=4, load=2, **kw)
+            s.values[name] = runner.speedup(name, cfg)
+        fig.series.append(s)
+    return fig
+
+
+def figure13(runner: ExperimentRunner,
+             benchmarks=ALL_BENCHMARKS) -> FigureResult:
+    """Memory channels 2 -> 4 vs the RC method (4-issue, 2- and 4-cycle
+    loads)."""
+    fig = FigureResult(
+        "Figure 13",
+        "Speedup, varying memory channels and RC (4-issue)",
+    )
+    for load in (2, 4):
+        for rc in (False, True):
+            for channels in (2, 4):
+                tag = "RC" if rc else "no"
+                s = Series(f"{tag}-{channels}ch-ld{load}")
+                for name in benchmarks:
+                    cfg = _fixed_pressure_config(name, rc=rc, issue=4,
+                                                 load=load, channels=channels)
+                    s.values[name] = runner.speedup(name, cfg)
+                fig.series.append(s)
+        unl = Series(f"unl-2ch-ld{load}")
+        for name in benchmarks:
+            unl.values[name] = runner.speedup(
+                name, unlimited_machine(issue_width=4, load_latency=load,
+                                        mem_channels=2))
+        fig.series.append(unl)
+    return fig
+
+
+def ablation_models(runner: ExperimentRunner,
+                    benchmarks=ALL_BENCHMARKS) -> FigureResult:
+    """Ours: compare the four automatic-reset models of section 2.3."""
+    fig = FigureResult(
+        "Ablation A",
+        "Speedup by RC reset model (4-issue, 2-cycle loads, 16/32 cores)",
+    )
+    for model in RCModel:
+        s = Series(f"model-{model.value}")
+        for name in benchmarks:
+            cfg = _fixed_pressure_config(name, rc=True, issue=4, load=2,
+                                         model=model)
+            s.values[name] = runner.speedup(name, cfg)
+        fig.series.append(s)
+    return fig
+
+
+def ablation_windows(runner: ExperimentRunner,
+                     benchmarks=ALL_BENCHMARKS) -> FigureResult:
+    """Ours: sensitivity to the number of reserved connection windows."""
+    fig = FigureResult(
+        "Ablation B",
+        "Speedup by connection-window count (4-issue, 2-cycle loads)",
+    )
+    for windows in (2, 3, 4, 6):
+        s = Series(f"win-{windows}")
+        for name in benchmarks:
+            cfg = _fixed_pressure_config(name, rc=True, issue=4, load=2)
+            s.values[name] = runner.speedup(name, cfg, num_windows=windows)
+        fig.series.append(s)
+    return fig
+
+
+def ablation_unroll(runner: ExperimentRunner,
+                    benchmarks=ALL_BENCHMARKS) -> FigureResult:
+    """Ours: the paper's closing claim — "as new code parallelization
+    methods become available, we expect that the RC method will become
+    beneficial for architectures with 32 or more registers."
+
+    Probe: 8-issue, 32 int / 64 fp core registers, unroll factor 2/4/8
+    (deeper unrolling stands in for stronger parallelization)."""
+    fig = FigureResult(
+        "Ablation C",
+        "Speedup vs unroll factor at 32/64 core registers (8-issue)",
+    )
+    for unroll in (2, 4, 8):
+        for rc in (False, True):
+            tag = "RC" if rc else "no"
+            s = Series(f"{tag}-u{unroll}")
+            for name in benchmarks:
+                cfg = _config(name, rc=rc, int_core=32, fp_core=64, issue=8)
+                s.values[name] = runner.speedup(name, cfg,
+                                                unroll_factor=unroll)
+            fig.series.append(s)
+    return fig
+
+
+ALL_FIGURES = {
+    "table1": lambda runner, benchmarks=ALL_BENCHMARKS: table1(),
+    "figure7": figure7,
+    "figure8": figure8,
+    "figure9": figure9,
+    "figure10": figure10,
+    "figure11": figure11,
+    "figure12": figure12,
+    "figure13": figure13,
+    "ablation_models": ablation_models,
+    "ablation_windows": ablation_windows,
+    "ablation_unroll": ablation_unroll,
+}

@@ -1,0 +1,115 @@
+"""Text rendering of figure/table results."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+def geomean(values: list[float]) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+@dataclass
+class Series:
+    """One labeled series of per-benchmark values."""
+
+    label: str
+    values: dict[str, float] = field(default_factory=dict)
+
+    def geomean(self) -> float:
+        return geomean(list(self.values.values()))
+
+
+@dataclass
+class FigureResult:
+    """The regenerated data behind one figure or table of the paper."""
+
+    fid: str
+    title: str
+    series: list[Series] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def series_by_label(self, label: str) -> Series:
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(label)
+
+    def benchmarks(self) -> list[str]:
+        names: list[str] = []
+        for s in self.series:
+            for name in s.values:
+                if name not in names:
+                    names.append(name)
+        return names
+
+    def to_rows(self) -> list[dict]:
+        """Tabular form: one dict per benchmark plus a geomean row."""
+        rows = []
+        for name in self.benchmarks():
+            row: dict = {"benchmark": name}
+            for s in self.series:
+                row[s.label] = s.values.get(name)
+            rows.append(row)
+        geo: dict = {"benchmark": "geomean"}
+        for s in self.series:
+            geo[s.label] = s.geomean()
+        rows.append(geo)
+        return rows
+
+    def to_csv(self) -> str:
+        """Render as CSV text (benchmark column first)."""
+        import csv
+        import io
+
+        buffer = io.StringIO()
+        fieldnames = ["benchmark"] + [s.label for s in self.series]
+        writer = csv.DictWriter(buffer, fieldnames=fieldnames)
+        writer.writeheader()
+        writer.writerows(self.to_rows())
+        return buffer.getvalue()
+
+    def to_json(self) -> str:
+        """Render as a JSON document with metadata and rows."""
+        import json
+
+        return json.dumps(
+            {
+                "figure": self.fid,
+                "title": self.title,
+                "series": [s.label for s in self.series],
+                "rows": self.to_rows(),
+                "notes": self.notes,
+            },
+            indent=2,
+        )
+
+    def render(self, precision: int = 2) -> str:
+        names = self.benchmarks()
+        label_w = max([len("benchmark")] + [len(n) for n in names])
+        col_w = max([10] + [len(s.label) + 1 for s in self.series])
+        lines = [f"{self.fid}: {self.title}", ""]
+        header = "benchmark".ljust(label_w) + "".join(
+            s.label.rjust(col_w) for s in self.series
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for name in names:
+            row = name.ljust(label_w)
+            for s in self.series:
+                v = s.values.get(name)
+                row += (f"{v:.{precision}f}".rjust(col_w)
+                        if v is not None else "-".rjust(col_w))
+            lines.append(row)
+        lines.append("-" * len(header))
+        row = "geomean".ljust(label_w)
+        for s in self.series:
+            row += f"{s.geomean():.{precision}f}".rjust(col_w)
+        lines.append(row)
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)

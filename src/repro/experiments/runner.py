@@ -1,0 +1,220 @@
+"""Compile-and-simulate experiment runner with persistent caching.
+
+One :class:`ExperimentRunner` owns a benchmark scale and a disk cache; every
+(benchmark, machine configuration, optimization level) combination is
+compiled, simulated, checksum-verified against the IR interpreter, and the
+resulting record cached so the figure-regeneration benches are cheap to
+re-run.
+
+The speedup baseline follows paper section 5.3: "a single-issue processor
+with an unlimited number of registers using conventional compiler scalar
+optimizations."
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.compiler import CompileOptions, OptOptions, compile_module
+from repro.errors import SimulationError
+from repro.ir import run_module
+from repro.isa import RClass
+from repro.sim import MachineConfig, simulate, unlimited_machine
+from repro.workloads import workload
+
+#: Environment variable scaling every benchmark's input size.
+SCALE_ENV = "REPRO_SCALE"
+CACHE_ENV = "REPRO_CACHE_DIR"
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """The cached outcome of one compile+simulate experiment."""
+
+    benchmark: str
+    cycles: int
+    instructions: int
+    ipc: float
+    checksum_ok: bool
+    total_static: int
+    program_static: int
+    spill_static: int
+    connect_static: int
+    callsave_static: int
+    spilled_vregs: int
+    extended_vregs: int
+    dyn_connects: int
+    dyn_spills: int
+    mispredicts: int
+
+    @property
+    def code_size_increase(self) -> float:
+        base = self.total_static - self.overhead_static
+        return self.overhead_static / base if base else 0.0
+
+    @property
+    def overhead_static(self) -> int:
+        return self.spill_static + self.connect_static + self.callsave_static
+
+    @property
+    def callsave_increase(self) -> float:
+        base = self.total_static - self.overhead_static
+        return self.callsave_static / base if base else 0.0
+
+
+def _config_key(config: MachineConfig) -> str:
+    return (
+        f"iw{config.issue_width}.mc{config.mem_channels}"
+        f".ld{config.latency.load}.cn{config.latency.connect}"
+        f".int{config.int_spec.core}-{config.int_spec.total}"
+        f".fp{config.fp_spec.core}-{config.fp_spec.total}"
+        f".m{config.rc_model.value}.x{int(config.extra_decode_stage)}"
+    )
+
+
+class ExperimentRunner:
+    """Runs and caches benchmark experiments at a fixed input scale."""
+
+    def __init__(self, scale: int | None = None,
+                 cache_dir: str | Path | None = None,
+                 verify_checksums: bool = True) -> None:
+        if scale is None:
+            scale = int(os.environ.get(SCALE_ENV, "1"))
+        self.scale = scale
+        self.verify_checksums = verify_checksums
+        if cache_dir is None:
+            cache_dir = os.environ.get(CACHE_ENV, ".repro_cache")
+        self.cache_dir = Path(cache_dir)
+        self._memory: dict[str, RunRecord] = {}
+        self._golden: dict[str, int | float] = {}
+
+    # -- caching ---------------------------------------------------------------
+
+    def _cache_path(self, key: str) -> Path:
+        digest = hashlib.sha256(key.encode()).hexdigest()[:24]
+        return self.cache_dir / f"{digest}.pkl"
+
+    def _load(self, key: str) -> RunRecord | None:
+        record = self._memory.get(key)
+        if record is not None:
+            return record
+        path = self._cache_path(key)
+        if path.exists():
+            try:
+                with path.open("rb") as fh:
+                    record = pickle.load(fh)
+            except Exception:
+                return None
+            self._memory[key] = record
+            return record
+        return None
+
+    def _store(self, key: str, record: RunRecord) -> None:
+        self._memory[key] = record
+        try:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            with self._cache_path(key).open("wb") as fh:
+                pickle.dump(record, fh)
+        except OSError:
+            pass  # caching is best-effort
+
+    # -- golden results ----------------------------------------------------------
+
+    def golden_checksum(self, benchmark: str) -> int | float:
+        if benchmark not in self._golden:
+            m = workload(benchmark).module(self.scale)
+            result = run_module(m)
+            self._golden[benchmark] = result.load_word(
+                m.global_addr("checksum"))
+        return self._golden[benchmark]
+
+    # -- running -------------------------------------------------------------------
+
+    def run(self, benchmark: str, config: MachineConfig,
+            opt_level: str = "ilp", unroll_factor: int = 4,
+            num_windows: int = 4) -> RunRecord:
+        """Compile and simulate one benchmark; cached."""
+        key = (f"{benchmark}.s{self.scale}.{_config_key(config)}"
+               f".o{opt_level}.u{unroll_factor}.w{num_windows}.v4")
+        record = self._load(key)
+        if record is not None:
+            return record
+
+        w = workload(benchmark)
+        module = w.module(self.scale)
+        from repro.compiler.regalloc.allocator import AllocationOptions
+
+        options = CompileOptions(
+            opt=OptOptions(level=opt_level, unroll_factor=unroll_factor),
+            alloc=AllocationOptions(num_windows=num_windows),
+        )
+        out = compile_module(module, config, options)
+        result = simulate(out.program, config)
+        checksum_ok = True
+        if self.verify_checksums:
+            addr = module.global_addr("checksum")
+            got = result.load_word(addr)
+            # The compiled program must reproduce the optimized module's
+            # interpretation exactly...
+            want = out.interp.load_word(addr)
+            checksum_ok = got == want
+            if not checksum_ok:
+                raise SimulationError(
+                    f"{benchmark} on {config.describe()}: checksum mismatch "
+                    f"({got!r} != {want!r})"
+                )
+            # ...and the optimized module may differ from the original only
+            # by FP-reassociation rounding.
+            original = self.golden_checksum(benchmark)
+            if isinstance(original, float):
+                drift = abs(want - original) / max(abs(original), 1e-30)
+                if drift > 1e-9:
+                    raise SimulationError(
+                        f"{benchmark}: optimization drifted the FP checksum "
+                        f"by {drift:.2e}"
+                    )
+            elif want != original:
+                raise SimulationError(
+                    f"{benchmark}: optimization changed the integer checksum "
+                    f"({want!r} != {original!r})"
+                )
+        stats = out.stats
+        record = RunRecord(
+            benchmark=benchmark,
+            cycles=result.cycles,
+            instructions=result.stats.instructions,
+            ipc=result.stats.ipc,
+            checksum_ok=checksum_ok,
+            total_static=stats.total_instructions,
+            program_static=stats.program_instructions,
+            spill_static=stats.spill_instructions,
+            connect_static=stats.connect_instructions,
+            callsave_static=stats.callsave_instructions,
+            spilled_vregs=stats.spilled_vregs,
+            extended_vregs=stats.extended_vregs,
+            dyn_connects=result.stats.by_origin.get("connect", 0),
+            dyn_spills=result.stats.by_origin.get("spill", 0),
+            mispredicts=result.stats.mispredicts,
+        )
+        self._store(key, record)
+        return record
+
+    # -- paper-style derived quantities ------------------------------------------
+
+    def baseline_cycles(self, benchmark: str) -> int:
+        """Cycles on the paper's speedup-baseline machine."""
+        return self.run(benchmark, unlimited_machine(issue_width=1),
+                        opt_level="scalar").cycles
+
+    def speedup(self, benchmark: str, config: MachineConfig,
+                **kwargs) -> float:
+        record = self.run(benchmark, config, **kwargs)
+        return self.baseline_cycles(benchmark) / record.cycles
+
+    def rc_class_for(self, benchmark: str) -> RClass:
+        """Which register file receives RC for this benchmark (section 5.2)."""
+        return RClass.INT if workload(benchmark).kind == "int" else RClass.FP

@@ -1,0 +1,49 @@
+"""Compiler IR: functions, blocks, builder DSL, analyses, interpreter."""
+
+from repro.ir.builder import FnBuilder
+from repro.ir.cfg import (
+    NaturalLoop,
+    dominators,
+    loop_depths,
+    natural_loops,
+    predecessors,
+    reverse_postorder,
+    successors,
+)
+from repro.ir.function import (
+    DATA_BASE,
+    STACK_BASE,
+    BasicBlock,
+    Function,
+    GlobalArray,
+    Module,
+)
+from repro.ir.interp import Interpreter, InterpResult, Profile, run_module
+from repro.ir.liveness import LivenessInfo, liveness, max_live_pressure
+from repro.ir.verify import verify_function, verify_module
+
+__all__ = [
+    "BasicBlock",
+    "DATA_BASE",
+    "FnBuilder",
+    "Function",
+    "GlobalArray",
+    "Interpreter",
+    "InterpResult",
+    "LivenessInfo",
+    "Module",
+    "NaturalLoop",
+    "Profile",
+    "STACK_BASE",
+    "dominators",
+    "liveness",
+    "loop_depths",
+    "max_live_pressure",
+    "natural_loops",
+    "predecessors",
+    "reverse_postorder",
+    "run_module",
+    "successors",
+    "verify_function",
+    "verify_module",
+]

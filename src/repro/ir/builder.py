@@ -1,0 +1,352 @@
+"""A small DSL for constructing IR functions.
+
+Example::
+
+    module = Module("demo")
+    b = FnBuilder(module, "sumto", params=[("i", "n")])
+    n, = b.params
+    total = b.li(0, name="total")
+    i = b.li(0, name="i")
+    b.block("loop")
+    total2 = b.add(total, b.load(i, 0))   # illustrative
+    ...
+    b.br("blt", i, n, "loop")
+    b.block("exit")
+    b.ret(total)
+    fn = b.done()
+
+Integer source slots accept plain Python ints, which become immediates.
+Starting a new block while the current one ends in a conditional branch makes
+the new block the fall-through successor; a block without a terminator gets an
+explicit jump to the newly started block.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import IRError
+from repro.ir.function import BasicBlock, Function, Module
+from repro.isa.instruction import Instr
+from repro.isa.opcodes import Opcode, spec
+from repro.isa.registers import Imm, RClass, VReg
+
+_CLS = {"i": RClass.INT, "f": RClass.FP,
+        RClass.INT: RClass.INT, RClass.FP: RClass.FP}
+
+_BRANCH_OPS = {
+    "beq": Opcode.BEQ, "bne": Opcode.BNE, "blt": Opcode.BLT,
+    "ble": Opcode.BLE, "bgt": Opcode.BGT, "bge": Opcode.BGE,
+    "beqz": Opcode.BEQZ, "bnez": Opcode.BNEZ,
+}
+
+
+class FnBuilder:
+    """Incrementally builds one :class:`~repro.ir.function.Function`."""
+
+    def __init__(self, module: Module, name: str,
+                 params: Sequence[tuple[str, str]] = (),
+                 ret: str | None = None) -> None:
+        self.module = module
+        param_regs = [VReg(_CLS[cls], i, pname)
+                      for i, (cls, pname) in enumerate(params)]
+        ret_class = _CLS[ret] if ret is not None else None
+        self.fn = Function(name, param_regs, ret_class)
+        self.params = list(param_regs)
+        self._cur: BasicBlock | None = None
+        self._pending_fallthrough: BasicBlock | None = None
+        self._finished = False
+
+    # -- block management ----------------------------------------------------
+
+    def block(self, name: str | None = None) -> str:
+        """Start a new basic block and make it current; returns its name."""
+        new = self.fn.new_block(name)
+        if self._pending_fallthrough is not None:
+            self._pending_fallthrough.fallthrough = new.name
+            self._pending_fallthrough = None
+        elif self._cur is not None and self._cur.terminator is None:
+            self._cur.instrs.append(Instr(Opcode.JMP, label=new.name))
+        self._cur = new
+        return new.name
+
+    def _block_for_emit(self) -> BasicBlock:
+        if self._finished:
+            raise IRError("builder already finished")
+        if self._pending_fallthrough is not None:
+            # An instruction directly after a conditional branch starts the
+            # fall-through block implicitly.
+            self.block()
+        if self._cur is None:
+            self.block("entry")
+        if self._cur.terminator is not None:
+            raise IRError(
+                f"block {self._cur.name} already terminated; start a new block"
+            )
+        return self._cur
+
+    def _emit(self, instr: Instr) -> Instr:
+        self._block_for_emit().instrs.append(instr)
+        return instr
+
+    # -- operand helpers -----------------------------------------------------
+
+    def vreg(self, cls: str = "i", name: str = "") -> VReg:
+        return self.fn.new_vreg(_CLS[cls], name)
+
+    def _int_operand(self, value) -> VReg | Imm:
+        if isinstance(value, bool):
+            return Imm(int(value))
+        if isinstance(value, int):
+            return Imm(value)
+        if isinstance(value, VReg):
+            if value.cls is not RClass.INT:
+                raise IRError(f"{value!r} used where an integer was expected")
+            return value
+        raise IRError(f"bad integer operand {value!r}")
+
+    def _fp_operand(self, value) -> VReg:
+        if isinstance(value, VReg) and value.cls is RClass.FP:
+            return value
+        raise IRError(f"bad FP operand {value!r} (use fli() for constants)")
+
+    def _dest(self, cls: RClass, dest: VReg | None, name: str) -> VReg:
+        if dest is None:
+            return self.fn.new_vreg(cls, name)
+        if dest.cls is not cls:
+            raise IRError(f"destination {dest!r} has wrong class for {cls}")
+        return dest
+
+    # -- integer ops -----------------------------------------------------------
+
+    def li(self, value: int, dest: VReg | None = None, name: str = "") -> VReg:
+        dest = self._dest(RClass.INT, dest, name)
+        self._emit(Instr(Opcode.LI, dest=dest, imm=int(value)))
+        return dest
+
+    def move(self, src, dest: VReg | None = None, name: str = "") -> VReg:
+        dest = self._dest(RClass.INT, dest, name)
+        self._emit(Instr(Opcode.MOVE, dest=dest, srcs=(self._int_operand(src),)))
+        return dest
+
+    def _binop(self, op: Opcode, a, b, dest: VReg | None, name: str) -> VReg:
+        dest = self._dest(RClass.INT, dest, name)
+        self._emit(Instr(op, dest=dest,
+                         srcs=(self._int_operand(a), self._int_operand(b))))
+        return dest
+
+    def add(self, a, b, dest=None, name=""):
+        return self._binop(Opcode.ADD, a, b, dest, name)
+
+    def sub(self, a, b, dest=None, name=""):
+        return self._binop(Opcode.SUB, a, b, dest, name)
+
+    def mul(self, a, b, dest=None, name=""):
+        return self._binop(Opcode.MUL, a, b, dest, name)
+
+    def div(self, a, b, dest=None, name=""):
+        return self._binop(Opcode.DIV, a, b, dest, name)
+
+    def rem(self, a, b, dest=None, name=""):
+        return self._binop(Opcode.REM, a, b, dest, name)
+
+    def and_(self, a, b, dest=None, name=""):
+        return self._binop(Opcode.AND, a, b, dest, name)
+
+    def or_(self, a, b, dest=None, name=""):
+        return self._binop(Opcode.OR, a, b, dest, name)
+
+    def xor(self, a, b, dest=None, name=""):
+        return self._binop(Opcode.XOR, a, b, dest, name)
+
+    def sll(self, a, b, dest=None, name=""):
+        return self._binop(Opcode.SLL, a, b, dest, name)
+
+    def srl(self, a, b, dest=None, name=""):
+        return self._binop(Opcode.SRL, a, b, dest, name)
+
+    def sra(self, a, b, dest=None, name=""):
+        return self._binop(Opcode.SRA, a, b, dest, name)
+
+    def cmpeq(self, a, b, dest=None, name=""):
+        return self._binop(Opcode.CMPEQ, a, b, dest, name)
+
+    def cmpne(self, a, b, dest=None, name=""):
+        return self._binop(Opcode.CMPNE, a, b, dest, name)
+
+    def cmplt(self, a, b, dest=None, name=""):
+        return self._binop(Opcode.CMPLT, a, b, dest, name)
+
+    def cmple(self, a, b, dest=None, name=""):
+        return self._binop(Opcode.CMPLE, a, b, dest, name)
+
+    def cmpgt(self, a, b, dest=None, name=""):
+        return self._binop(Opcode.CMPGT, a, b, dest, name)
+
+    def cmpge(self, a, b, dest=None, name=""):
+        return self._binop(Opcode.CMPGE, a, b, dest, name)
+
+    # -- floating point ops ----------------------------------------------------
+
+    def fli(self, value: float, dest: VReg | None = None, name: str = "") -> VReg:
+        dest = self._dest(RClass.FP, dest, name)
+        self._emit(Instr(Opcode.LIF, dest=dest, imm=float(value)))
+        return dest
+
+    def fmov(self, src, dest=None, name="") -> VReg:
+        dest = self._dest(RClass.FP, dest, name)
+        self._emit(Instr(Opcode.FMOV, dest=dest, srcs=(self._fp_operand(src),)))
+        return dest
+
+    def fneg(self, src, dest=None, name="") -> VReg:
+        dest = self._dest(RClass.FP, dest, name)
+        self._emit(Instr(Opcode.FNEG, dest=dest, srcs=(self._fp_operand(src),)))
+        return dest
+
+    def _fbinop(self, op: Opcode, a, b, dest, name) -> VReg:
+        dest = self._dest(RClass.FP, dest, name)
+        self._emit(Instr(op, dest=dest,
+                         srcs=(self._fp_operand(a), self._fp_operand(b))))
+        return dest
+
+    def fadd(self, a, b, dest=None, name=""):
+        return self._fbinop(Opcode.FADD, a, b, dest, name)
+
+    def fsub(self, a, b, dest=None, name=""):
+        return self._fbinop(Opcode.FSUB, a, b, dest, name)
+
+    def fmul(self, a, b, dest=None, name=""):
+        return self._fbinop(Opcode.FMUL, a, b, dest, name)
+
+    def fdiv(self, a, b, dest=None, name=""):
+        return self._fbinop(Opcode.FDIV, a, b, dest, name)
+
+    def _fcmp(self, op: Opcode, a, b, dest, name) -> VReg:
+        dest = self._dest(RClass.INT, dest, name)
+        self._emit(Instr(op, dest=dest,
+                         srcs=(self._fp_operand(a), self._fp_operand(b))))
+        return dest
+
+    def fcmpeq(self, a, b, dest=None, name=""):
+        return self._fcmp(Opcode.FCMPEQ, a, b, dest, name)
+
+    def fcmplt(self, a, b, dest=None, name=""):
+        return self._fcmp(Opcode.FCMPLT, a, b, dest, name)
+
+    def fcmple(self, a, b, dest=None, name=""):
+        return self._fcmp(Opcode.FCMPLE, a, b, dest, name)
+
+    def cvtif(self, src, dest=None, name="") -> VReg:
+        dest = self._dest(RClass.FP, dest, name)
+        self._emit(Instr(Opcode.CVTIF, dest=dest, srcs=(self._int_operand(src),)))
+        return dest
+
+    def cvtfi(self, src, dest=None, name="") -> VReg:
+        dest = self._dest(RClass.INT, dest, name)
+        self._emit(Instr(Opcode.CVTFI, dest=dest, srcs=(self._fp_operand(src),)))
+        return dest
+
+    # -- memory ----------------------------------------------------------------
+
+    def load(self, base, offset: int = 0, dest=None, name="") -> VReg:
+        dest = self._dest(RClass.INT, dest, name)
+        self._emit(Instr(Opcode.LOAD, dest=dest,
+                         srcs=(self._int_operand(base),), imm=int(offset)))
+        return dest
+
+    def store(self, value, base, offset: int = 0) -> None:
+        self._emit(Instr(Opcode.STORE,
+                         srcs=(self._int_operand(value), self._int_operand(base)),
+                         imm=int(offset)))
+
+    def fload(self, base, offset: int = 0, dest=None, name="") -> VReg:
+        dest = self._dest(RClass.FP, dest, name)
+        self._emit(Instr(Opcode.FLOAD, dest=dest,
+                         srcs=(self._int_operand(base),), imm=int(offset)))
+        return dest
+
+    def fstore(self, value, base, offset: int = 0) -> None:
+        self._emit(Instr(Opcode.FSTORE,
+                         srcs=(self._fp_operand(value), self._int_operand(base)),
+                         imm=int(offset)))
+
+    def la(self, global_name: str, dest=None, name="") -> VReg:
+        """Load the address of a module global."""
+        return self.li(self.module.global_addr(global_name), dest=dest,
+                       name=name or global_name)
+
+    # -- control ---------------------------------------------------------------
+
+    def br(self, cond: str, a, b=None, target: str | None = None) -> None:
+        """Emit a conditional branch; the next started block is not-taken.
+
+        One-operand branches accept the target positionally:
+        ``br("bnez", x, "loop")``.
+        """
+        if target is None and isinstance(b, str):
+            b, target = None, b
+        if target is None:
+            raise IRError("br() requires a target label")
+        op = _BRANCH_OPS[cond]
+        nsrc = len(spec(op).srcs)
+        if nsrc == 1:
+            srcs = (self._int_operand(a),)
+            if b is not None:
+                raise IRError(f"{cond} takes one source operand")
+        else:
+            srcs = (self._int_operand(a), self._int_operand(b))
+        block = self._block_for_emit()
+        block.instrs.append(Instr(op, srcs=srcs, label=target))
+        self._pending_fallthrough = block
+        self._cur = None
+
+    def jmp(self, target: str) -> None:
+        self._block_for_emit().instrs.append(Instr(Opcode.JMP, label=target))
+        self._cur = None
+
+    def call(self, fname: str, args: Sequence = (), ret: str | None = None,
+             dest=None, name="") -> VReg | None:
+        operands = []
+        for a in args:
+            if isinstance(a, VReg) and a.cls is RClass.FP:
+                operands.append(a)
+            else:
+                operands.append(self._int_operand(a))
+        if ret is None:
+            self._emit(Instr(Opcode.CALL, srcs=tuple(operands), label=fname))
+            return None
+        dest = self._dest(_CLS[ret], dest, name)
+        self._emit(Instr(Opcode.CALL, dest=dest, srcs=tuple(operands),
+                         label=fname))
+        return dest
+
+    def ret(self, value=None) -> None:
+        if value is None:
+            srcs = ()
+        elif isinstance(value, VReg) and value.cls is RClass.FP:
+            srcs = (value,)
+        else:
+            srcs = (self._int_operand(value),)
+        self._block_for_emit().instrs.append(Instr(Opcode.RET, srcs=srcs))
+        self._cur = None
+
+    def halt(self) -> None:
+        self._block_for_emit().instrs.append(Instr(Opcode.HALT))
+        self._cur = None
+
+    # -- finishing ---------------------------------------------------------------
+
+    def done(self) -> Function:
+        """Finish construction, register the function, and return it."""
+        if self._finished:
+            raise IRError("builder already finished")
+        if self._pending_fallthrough is not None:
+            raise IRError(
+                f"block {self._pending_fallthrough.name} ends in a branch "
+                "with no fall-through block"
+            )
+        if self._cur is not None and self._cur.terminator is None:
+            raise IRError(f"block {self._cur.name} has no terminator")
+        self._finished = True
+        self.module.add_function(self.fn)
+        return self.fn

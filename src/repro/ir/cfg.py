@@ -1,0 +1,116 @@
+"""Control-flow graph analyses: orders, dominators, natural loops."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.function import Function
+
+
+def successors(fn: Function) -> dict[str, list[str]]:
+    return {b.name: b.successors() for b in fn.blocks}
+
+
+def predecessors(fn: Function) -> dict[str, list[str]]:
+    preds: dict[str, list[str]] = {b.name: [] for b in fn.blocks}
+    for b in fn.blocks:
+        for s in b.successors():
+            preds[s].append(b.name)
+    return preds
+
+
+def reverse_postorder(fn: Function) -> list[str]:
+    """Block names in reverse postorder from the entry (reachable only)."""
+    succ = successors(fn)
+    seen: set[str] = set()
+    order: list[str] = []
+
+    entry = fn.entry.name
+    # Iterative DFS with an explicit stack to avoid recursion limits.
+    stack: list[tuple[str, int]] = [(entry, 0)]
+    seen.add(entry)
+    while stack:
+        node, idx = stack[-1]
+        kids = succ[node]
+        if idx < len(kids):
+            stack[-1] = (node, idx + 1)
+            child = kids[idx]
+            if child not in seen:
+                seen.add(child)
+                stack.append((child, 0))
+        else:
+            order.append(node)
+            stack.pop()
+    order.reverse()
+    return order
+
+
+def dominators(fn: Function) -> dict[str, set[str]]:
+    """Classic iterative dominator sets (dom[b] includes b)."""
+    rpo = reverse_postorder(fn)
+    preds = predecessors(fn)
+    all_blocks = set(rpo)
+    entry = fn.entry.name
+    dom: dict[str, set[str]] = {name: set(all_blocks) for name in rpo}
+    dom[entry] = {entry}
+    changed = True
+    while changed:
+        changed = False
+        for name in rpo:
+            if name == entry:
+                continue
+            reachable_preds = [p for p in preds[name] if p in all_blocks]
+            new: set[str] = set(all_blocks)
+            for p in reachable_preds:
+                new &= dom[p]
+            new.add(name)
+            if new != dom[name]:
+                dom[name] = new
+                changed = True
+    return dom
+
+
+@dataclass
+class NaturalLoop:
+    """A natural loop identified by a back edge latch -> header."""
+
+    header: str
+    latch: str
+    body: set[str] = field(default_factory=set)
+
+    @property
+    def is_self_loop(self) -> bool:
+        return self.header == self.latch and self.body == {self.header}
+
+
+def natural_loops(fn: Function) -> list[NaturalLoop]:
+    """All natural loops, found via back edges under dominance."""
+    dom = dominators(fn)
+    preds = predecessors(fn)
+    loops: list[NaturalLoop] = []
+    for block in fn.blocks:
+        if block.name not in dom:
+            continue  # unreachable
+        for succ in block.successors():
+            if succ in dom[block.name]:
+                # back edge block -> succ
+                loop = NaturalLoop(header=succ, latch=block.name)
+                loop.body = {succ}
+                stack = [block.name]
+                while stack:
+                    node = stack.pop()
+                    if node in loop.body:
+                        continue
+                    loop.body.add(node)
+                    stack.extend(p for p in preds[node] if p in dom)
+                loops.append(loop)
+    return loops
+
+
+def loop_depths(fn: Function) -> dict[str, int]:
+    """Loop nesting depth per block (0 = not in any loop)."""
+    depths = {b.name: 0 for b in fn.blocks}
+    for loop in natural_loops(fn):
+        for name in loop.body:
+            depths[name] += 1
+    return depths

@@ -1,0 +1,235 @@
+"""IR containers: basic blocks, functions, globals, and modules.
+
+A :class:`Function` is an ordered list of :class:`BasicBlock`; the first block
+is the entry.  Every block ends in exactly one terminator:
+
+* an unconditional ``JMP``,
+* a conditional branch (taken target in ``instr.label``; the not-taken
+  successor is recorded in ``block.fallthrough``),
+* ``RET`` or ``HALT``.
+
+A :class:`Module` owns functions plus global data arrays.  Global addresses
+are assigned eagerly at declaration time from a fixed data base so that both
+the interpreter and the simulator see the same memory image without a
+relocation step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import IRError
+from repro.isa.instruction import Instr
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import RClass, VReg
+
+#: First word address of the global data segment.
+DATA_BASE = 4096
+#: Initial stack pointer (stack grows toward lower addresses, word-sized slots).
+STACK_BASE = 1 << 22
+
+_TERMINATORS = {
+    Opcode.JMP,
+    Opcode.RET,
+    Opcode.HALT,
+    Opcode.BEQ,
+    Opcode.BNE,
+    Opcode.BLT,
+    Opcode.BLE,
+    Opcode.BGT,
+    Opcode.BGE,
+    Opcode.BEQZ,
+    Opcode.BNEZ,
+}
+
+
+class BasicBlock:
+    """A straight-line sequence of instructions with one terminator."""
+
+    __slots__ = ("name", "instrs", "fallthrough")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.instrs: list[Instr] = []
+        #: Name of the not-taken successor when the terminator is a
+        #: conditional branch; ``None`` otherwise.
+        self.fallthrough: str | None = None
+
+    @property
+    def terminator(self) -> Instr | None:
+        if self.instrs and self.instrs[-1].op in _TERMINATORS:
+            return self.instrs[-1]
+        return None
+
+    def successors(self) -> list[str]:
+        """Names of successor blocks in (taken, fallthrough) order."""
+        term = self.terminator
+        if term is None:
+            raise IRError(f"block {self.name} has no terminator")
+        if term.op is Opcode.JMP:
+            return [term.label]
+        if term.is_cond_branch:
+            if self.fallthrough is None:
+                raise IRError(f"block {self.name} ends in a branch but has no "
+                              "fallthrough successor")
+            return [term.label, self.fallthrough]
+        return []
+
+    def body(self) -> list[Instr]:
+        """Instructions excluding the terminator."""
+        if self.terminator is None:
+            return list(self.instrs)
+        return self.instrs[:-1]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<BasicBlock {self.name}: {len(self.instrs)} instrs>"
+
+
+class Function:
+    """A function: parameters, blocks, and a virtual register namespace."""
+
+    def __init__(self, name: str, params: list[VReg] | None = None,
+                 ret_class: RClass | None = None) -> None:
+        self.name = name
+        self.params: list[VReg] = list(params or [])
+        self.ret_class = ret_class
+        self.blocks: list[BasicBlock] = []
+        self._by_name: dict[str, BasicBlock] = {}
+        self._next_vid = max((p.vid for p in self.params), default=-1) + 1
+        self._next_label = 0
+
+    # -- construction --------------------------------------------------------
+
+    def new_vreg(self, cls: RClass, name: str = "") -> VReg:
+        v = VReg(cls, self._next_vid, name)
+        self._next_vid += 1
+        return v
+
+    def new_block(self, name: str | None = None) -> BasicBlock:
+        if name is None:
+            name = f".L{self._next_label}"
+            self._next_label += 1
+        if name in self._by_name:
+            raise IRError(f"duplicate block name {name!r} in {self.name}")
+        block = BasicBlock(name)
+        self.blocks.append(block)
+        self._by_name[name] = block
+        return block
+
+    # -- access --------------------------------------------------------------
+
+    @property
+    def entry(self) -> BasicBlock:
+        if not self.blocks:
+            raise IRError(f"function {self.name} has no blocks")
+        return self.blocks[0]
+
+    def block(self, name: str) -> BasicBlock:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise IRError(f"no block named {name!r} in {self.name}") from None
+
+    def has_block(self, name: str) -> bool:
+        return name in self._by_name
+
+    def iter_instrs(self) -> Iterator[tuple[BasicBlock, Instr]]:
+        for block in self.blocks:
+            for instr in block.instrs:
+                yield block, instr
+
+    def vregs(self) -> set[VReg]:
+        """All virtual registers referenced by this function."""
+        found: set[VReg] = set(self.params)
+        for _, instr in self.iter_instrs():
+            for reg in instr.regs():
+                if isinstance(reg, VReg):
+                    found.add(reg)
+        return found
+
+    def instruction_count(self) -> int:
+        return sum(len(b.instrs) for b in self.blocks)
+
+    def remove_unreachable_blocks(self) -> int:
+        """Drop blocks not reachable from the entry; returns removed count."""
+        reachable: set[str] = set()
+        stack = [self.entry.name]
+        while stack:
+            name = stack.pop()
+            if name in reachable:
+                continue
+            reachable.add(name)
+            stack.extend(self.block(name).successors())
+        removed = [b for b in self.blocks if b.name not in reachable]
+        if removed:
+            self.blocks = [b for b in self.blocks if b.name in reachable]
+            self._by_name = {b.name: b for b in self.blocks}
+        return len(removed)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Function {self.name}: {len(self.blocks)} blocks>"
+
+
+@dataclass
+class GlobalArray:
+    """A global data array living at a fixed word address."""
+
+    name: str
+    size: int
+    addr: int
+    init: list[int | float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.init) > self.size:
+            raise IRError(f"global {self.name}: init longer than size")
+
+
+class Module:
+    """A compilation unit: functions plus a global data segment."""
+
+    def __init__(self, name: str = "module") -> None:
+        self.name = name
+        self.functions: dict[str, Function] = {}
+        self.globals: dict[str, GlobalArray] = {}
+        self._next_addr = DATA_BASE
+
+    def add_function(self, fn: Function) -> Function:
+        if fn.name in self.functions:
+            raise IRError(f"duplicate function {fn.name!r}")
+        self.functions[fn.name] = fn
+        return fn
+
+    def function(self, name: str) -> Function:
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise IRError(f"no function named {name!r}") from None
+
+    def add_global(self, name: str, size: int,
+                   init: list[int | float] | None = None) -> GlobalArray:
+        if name in self.globals:
+            raise IRError(f"duplicate global {name!r}")
+        if size < 1:
+            raise IRError(f"global {name!r} must have size >= 1")
+        g = GlobalArray(name, size, self._next_addr, list(init or []))
+        self._next_addr += size
+        self.globals[name] = g
+        return g
+
+    def global_addr(self, name: str) -> int:
+        try:
+            return self.globals[name].addr
+        except KeyError:
+            raise IRError(f"no global named {name!r}") from None
+
+    def initial_memory(self) -> dict[int, int | float]:
+        """The initial memory image implied by global initializers."""
+        image: dict[int, int | float] = {}
+        for g in self.globals.values():
+            for offset, value in enumerate(g.init):
+                image[g.addr + offset] = value
+        return image
+
+    def instruction_count(self) -> int:
+        return sum(fn.instruction_count() for fn in self.functions.values())

@@ -1,0 +1,137 @@
+"""Structural and type verification of IR functions and modules."""
+
+from __future__ import annotations
+
+from repro.errors import IRError
+from repro.ir.function import Function, Module
+from repro.isa.instruction import Instr
+from repro.isa.opcodes import Opcode, spec
+from repro.isa.registers import Imm, PhysReg, RClass, VReg
+
+_MIDBLOCK_CONTROL_OK = {Opcode.CALL, Opcode.TRAP, Opcode.RTE}
+
+
+def _operand_class(operand) -> RClass | None:
+    if isinstance(operand, (VReg, PhysReg)):
+        return operand.cls
+    return None  # immediate
+
+
+def _check_instr(fn: Function, instr: Instr, where: str,
+                 module: Module | None) -> None:
+    s = spec(instr.op)
+
+    # Destination.
+    if s.dest is None and instr.op is not Opcode.CALL:
+        if instr.dest is not None:
+            raise IRError(f"{where}: {instr!r} must not have a destination")
+    elif instr.op is not Opcode.CALL:
+        if instr.dest is None:
+            raise IRError(f"{where}: {instr!r} needs a destination")
+        if _operand_class(instr.dest) is not s.dest:
+            raise IRError(f"{where}: {instr!r} destination class mismatch")
+
+    # Sources.
+    if instr.op is Opcode.CALL:
+        pass  # variable arity, checked against the callee below
+    elif instr.op is Opcode.RET:
+        if len(instr.srcs) > 1:
+            raise IRError(f"{where}: ret takes at most one value")
+        if instr.srcs and fn.ret_class is not None:
+            cls = _operand_class(instr.srcs[0]) or RClass.INT
+            if cls is not fn.ret_class:
+                raise IRError(f"{where}: ret value class mismatch")
+    else:
+        if len(instr.srcs) != len(s.srcs):
+            raise IRError(
+                f"{where}: {instr!r} expects {len(s.srcs)} sources, "
+                f"got {len(instr.srcs)}"
+            )
+        for operand, expected in zip(instr.srcs, s.srcs):
+            cls = _operand_class(operand)
+            if cls is None:
+                if expected is RClass.FP:
+                    raise IRError(
+                        f"{where}: immediate in FP source slot of {instr!r}"
+                    )
+                if not isinstance(operand.value, int):
+                    raise IRError(
+                        f"{where}: non-integer immediate {operand!r} in "
+                        f"integer slot of {instr!r}"
+                    )
+            elif cls is not expected:
+                raise IRError(f"{where}: {instr!r} source class mismatch")
+
+    # Immediates.
+    if instr.op is Opcode.LI and not isinstance(instr.imm, int):
+        raise IRError(f"{where}: li requires an integer immediate")
+    if instr.op is Opcode.LIF and not isinstance(instr.imm, float):
+        raise IRError(f"{where}: lif requires a float immediate")
+    if instr.is_mem and not isinstance(instr.imm, int):
+        raise IRError(f"{where}: memory op requires an integer offset")
+    if instr.is_connect:
+        imm = instr.imm
+        if not (isinstance(imm, tuple) and isinstance(imm[0], RClass)):
+            raise IRError(f"{where}: malformed connect immediate {imm!r}")
+        expected_len = 3 if instr.op in (Opcode.CUSE, Opcode.CDEF) else 5
+        if len(imm) != expected_len:
+            raise IRError(f"{where}: malformed connect immediate {imm!r}")
+
+    # Calls against the callee signature.
+    if instr.op is Opcode.CALL and module is not None:
+        if instr.label not in module.functions:
+            raise IRError(f"{where}: call to unknown function {instr.label!r}")
+        callee = module.functions[instr.label]
+        if len(instr.srcs) != len(callee.params):
+            raise IRError(
+                f"{where}: call to {callee.name} passes {len(instr.srcs)} "
+                f"args, expected {len(callee.params)}"
+            )
+        for operand, param in zip(instr.srcs, callee.params):
+            cls = _operand_class(operand) or RClass.INT
+            if cls is not param.cls:
+                raise IRError(f"{where}: argument class mismatch calling "
+                              f"{callee.name}")
+        if instr.dest is not None:
+            if callee.ret_class is None:
+                raise IRError(f"{where}: {callee.name} returns no value")
+            if _operand_class(instr.dest) is not callee.ret_class:
+                raise IRError(f"{where}: call result class mismatch")
+
+
+def verify_function(fn: Function, module: Module | None = None) -> None:
+    """Raise :class:`~repro.errors.IRError` if *fn* is malformed."""
+    if not fn.blocks:
+        raise IRError(f"function {fn.name} has no blocks")
+    names = {b.name for b in fn.blocks}
+    for block in fn.blocks:
+        where_base = f"{fn.name}/{block.name}"
+        if not block.instrs:
+            raise IRError(f"{where_base}: empty block")
+        term = block.terminator
+        if term is None:
+            raise IRError(f"{where_base}: missing terminator")
+        for i, instr in enumerate(block.instrs):
+            where = f"{where_base}[{i}]"
+            if instr is not term and instr.is_branch:
+                if instr.op not in _MIDBLOCK_CONTROL_OK:
+                    raise IRError(f"{where}: control op {instr.op} mid-block")
+            if instr.op is Opcode.HALT and instr is not term:
+                raise IRError(f"{where}: halt mid-block")
+            _check_instr(fn, instr, where, module)
+        if term.is_cond_branch:
+            if block.fallthrough not in names:
+                raise IRError(
+                    f"{where_base}: fall-through {block.fallthrough!r} missing"
+                )
+            if term.label not in names:
+                raise IRError(f"{where_base}: branch target {term.label!r} "
+                              "missing")
+        elif term.op is Opcode.JMP and term.label not in names:
+            raise IRError(f"{where_base}: jump target {term.label!r} missing")
+
+
+def verify_module(module: Module) -> None:
+    """Verify every function of *module*."""
+    for fn in module.functions.values():
+        verify_function(fn, module)

@@ -1,0 +1,74 @@
+"""Textual assembly formatting (disassembly) for instructions and programs."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.isa.instruction import Instr
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import Imm, PhysReg, RClass, VReg
+
+
+def _operand(o) -> str:
+    if isinstance(o, Imm):
+        return str(o.value)
+    return repr(o)
+
+
+def _connect_pairs(instr: Instr) -> str:
+    imm = instr.imm
+    rclass: RClass = imm[0]
+    prefix = "r" if rclass is RClass.INT else "f"
+    pairs = []
+    rest = imm[1:]
+    for i in range(0, len(rest), 2):
+        pairs.append(f"{prefix}i{rest[i]}, {prefix}p{rest[i + 1]}")
+    return ", ".join(pairs)
+
+
+def format_instr(instr: Instr) -> str:
+    """Render one instruction as assembly text."""
+    op = instr.op
+    if op is Opcode.NOP:
+        return "nop"
+    if instr.is_connect:
+        return f"{op.value} {_connect_pairs(instr)}"
+    if op in (Opcode.LI, Opcode.LIF):
+        return f"{op.value} {_operand(instr.dest)}, {instr.imm}"
+    if op in (Opcode.LOAD, Opcode.FLOAD):
+        return (
+            f"{op.value} {_operand(instr.dest)}, "
+            f"{instr.imm}({_operand(instr.srcs[0])})"
+        )
+    if op in (Opcode.STORE, Opcode.FSTORE):
+        return (
+            f"{op.value} {_operand(instr.srcs[0])}, "
+            f"{instr.imm}({_operand(instr.srcs[1])})"
+        )
+    if op is Opcode.CALL:
+        args = ", ".join(_operand(s) for s in instr.srcs)
+        ret = f"{_operand(instr.dest)} = " if instr.dest is not None else ""
+        return f"{ret}call {instr.label}({args})"
+    if op is Opcode.TRAP:
+        return f"trap {instr.imm}"
+    if op is Opcode.MFMAP:
+        rclass, index, which = instr.imm
+        return f"mfmap {_operand(instr.dest)}, {rclass.value}[{index}].{which}"
+    parts = []
+    if instr.dest is not None:
+        parts.append(_operand(instr.dest))
+    parts.extend(_operand(s) for s in instr.srcs)
+    text = f"{op.value} " + ", ".join(parts) if parts else op.value
+    if instr.label is not None:
+        text += f" -> {instr.label}"
+        if instr.is_cond_branch and instr.hint_taken is not None:
+            text += " [taken]" if instr.hint_taken else " [not-taken]"
+    return text.strip()
+
+
+def format_listing(instrs: Iterable[Instr], start: int = 0) -> str:
+    """Render an instruction sequence with addresses, one per line."""
+    lines = []
+    for i, instr in enumerate(instrs, start=start):
+        lines.append(f"{i:6d}: {format_instr(instr)}")
+    return "\n".join(lines)

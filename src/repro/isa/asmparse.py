@@ -1,0 +1,245 @@
+"""A two-pass assembler for the textual assembly format.
+
+Parses the syntax produced by :mod:`repro.isa.asmfmt` (plus labels and
+comments) back into an executable :class:`~repro.sim.program.MachineProgram`,
+so machine programs can be written, stored, and round-tripped as text.
+
+Syntax::
+
+    ; comment (also #)
+    start:                       ; label
+        li r5, 20
+        load r6, 4(r0)           ; base+offset memory operands
+        fadd f4, f6, f8
+        blt r5, 10 -> loop       ; branch target after '->'
+        blt r5, 10 -> loop [taken]
+        connect_use ri3, rp200   ; connect operands: index, physical
+        connect_def_use ri1, rp30, ri2, rp31
+        call helper
+        trap 3
+        halt
+
+Directives::
+
+    .entry start                 ; program entry label (default: first instr)
+    .word 4096 = 17              ; initial memory word
+    .handler 3 = vector_label    ; trap handler table entry
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import CompileError
+from repro.isa.instruction import Instr
+from repro.isa.opcodes import Opcode, spec
+from repro.isa.registers import Imm, PhysReg, RClass
+
+_OPCODES = {op.value: op for op in Opcode}
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):$")
+_REG_RE = re.compile(r"^(r|f)(\d+)$")
+_MEM_RE = re.compile(r"^(-?\d+)\(([^)]+)\)$")
+_CONNECT_RE = re.compile(r"^(r|f)(i|p)(\d+)$")
+_HINT_RE = re.compile(r"\[(taken|not-taken)\]\s*$")
+
+
+class AsmError(CompileError):
+    """A syntax or semantic error in assembly text."""
+
+
+def _strip_comment(line: str) -> str:
+    for marker in (";", "#"):
+        pos = line.find(marker)
+        if pos >= 0:
+            line = line[:pos]
+    return line.strip()
+
+
+def _parse_operand(text: str):
+    text = text.strip()
+    m = _REG_RE.match(text)
+    if m:
+        cls = RClass.INT if m.group(1) == "r" else RClass.FP
+        return PhysReg(cls, int(m.group(2)))
+    try:
+        return Imm(int(text, 0))
+    except ValueError:
+        pass
+    try:
+        return Imm(float(text))
+    except ValueError:
+        raise AsmError(f"bad operand {text!r}") from None
+
+
+def _parse_connect_field(text: str, expect: str) -> tuple[RClass, int]:
+    m = _CONNECT_RE.match(text.strip())
+    if not m or m.group(2) != expect:
+        raise AsmError(f"bad connect operand {text!r} (expected "
+                       f"'{expect}'-form like r{expect}3)")
+    cls = RClass.INT if m.group(1) == "r" else RClass.FP
+    return cls, int(m.group(3))
+
+
+def _split_operands(text: str) -> list[str]:
+    return [part.strip() for part in text.split(",")] if text.strip() else []
+
+
+def parse_instr(line: str, lineno: int = 0) -> Instr:
+    """Parse a single (comment-stripped, label-free) instruction line."""
+    hint = None
+    hm = _HINT_RE.search(line)
+    if hm:
+        hint = hm.group(1) == "taken"
+        line = line[: hm.start()].strip()
+
+    label = None
+    if "->" in line:
+        line, label = line.rsplit("->", 1)
+        label = label.strip()
+        line = line.strip()
+
+    parts = line.split(None, 1)
+    mnemonic = parts[0].lower()
+    rest = parts[1] if len(parts) > 1 else ""
+    op = _OPCODES.get(mnemonic)
+    if op is None:
+        raise AsmError(f"line {lineno}: unknown opcode {mnemonic!r}")
+    s = spec(op)
+
+    if op in (Opcode.CUSE, Opcode.CDEF, Opcode.CUU, Opcode.CDU, Opcode.CDD):
+        fields = _split_operands(rest)
+        if len(fields) not in (2, 4):
+            raise AsmError(f"line {lineno}: connect needs 2 or 4 operands")
+        kinds = {
+            Opcode.CUSE: ("i",), Opcode.CDEF: ("i",),
+            Opcode.CUU: ("i", "i"), Opcode.CDU: ("i", "i"),
+            Opcode.CDD: ("i", "i"),
+        }[op]
+        if len(fields) != 2 * len(kinds):
+            raise AsmError(f"line {lineno}: wrong connect arity for "
+                           f"{mnemonic}")
+        pieces = []
+        rclass = None
+        for pair in range(len(kinds)):
+            cls_i, idx = _parse_connect_field(fields[2 * pair], "i")
+            cls_p, phys = _parse_connect_field(fields[2 * pair + 1], "p")
+            if cls_i is not cls_p:
+                raise AsmError(f"line {lineno}: connect class mismatch")
+            if rclass is None:
+                rclass = cls_i
+            elif rclass is not cls_i:
+                raise AsmError(f"line {lineno}: mixed-class connect")
+            pieces.extend([idx, phys])
+        return Instr(op, imm=(rclass, *pieces))
+
+    if op is Opcode.TRAP:
+        return Instr(op, imm=int(rest.strip(), 0))
+    if op in (Opcode.CALL, Opcode.JMP) and label is None:
+        # "call helper" / "jmp loop" style (no arrow)
+        label = rest.strip() or None
+        rest = ""
+    fields = _split_operands(rest)
+
+    if op in (Opcode.LOAD, Opcode.FLOAD):
+        if len(fields) != 2:
+            raise AsmError(f"line {lineno}: load needs dest, off(base)")
+        dest = _parse_operand(fields[0])
+        m = _MEM_RE.match(fields[1])
+        if not m:
+            raise AsmError(f"line {lineno}: bad memory operand "
+                           f"{fields[1]!r}")
+        return Instr(op, dest=dest, srcs=(_parse_operand(m.group(2)),),
+                     imm=int(m.group(1)))
+    if op in (Opcode.STORE, Opcode.FSTORE):
+        if len(fields) != 2:
+            raise AsmError(f"line {lineno}: store needs value, off(base)")
+        value = _parse_operand(fields[0])
+        m = _MEM_RE.match(fields[1])
+        if not m:
+            raise AsmError(f"line {lineno}: bad memory operand "
+                           f"{fields[1]!r}")
+        return Instr(op, srcs=(value, _parse_operand(m.group(2))),
+                     imm=int(m.group(1)))
+    if op in (Opcode.LI, Opcode.LIF):
+        if len(fields) != 2:
+            raise AsmError(f"line {lineno}: {mnemonic} needs dest, imm")
+        dest = _parse_operand(fields[0])
+        imm = _parse_operand(fields[1])
+        if not isinstance(imm, Imm):
+            raise AsmError(f"line {lineno}: {mnemonic} immediate expected")
+        value = imm.value
+        if op is Opcode.LIF:
+            value = float(value)
+        return Instr(op, dest=dest, imm=value)
+    if op is Opcode.MFMAP:
+        raise AsmError(f"line {lineno}: mfmap is not supported in text form")
+
+    operands = [_parse_operand(f) for f in fields]
+    dest = None
+    if s.dest is not None:
+        if not operands:
+            raise AsmError(f"line {lineno}: {mnemonic} needs a destination")
+        dest = operands.pop(0)
+    instr = Instr(op, dest=dest, srcs=tuple(operands), label=label,
+                  hint_taken=hint)
+    expected = len(s.srcs)
+    if op not in (Opcode.CALL, Opcode.RET) and len(operands) != expected:
+        raise AsmError(f"line {lineno}: {mnemonic} expects {expected} "
+                       f"source operands, got {len(operands)}")
+    return instr
+
+
+def parse_program(text: str):
+    """Assemble *text*; returns a :class:`~repro.sim.program.MachineProgram`.
+
+    Imported lazily to keep :mod:`repro.isa` free of simulator dependencies.
+    """
+    from repro.sim.program import assemble
+
+    instrs: list[Instr] = []
+    labels: dict[str, int] = {}
+    memory: dict[int, int | float] = {}
+    handlers: dict[int, str] = {}
+    entry_label: str | None = None
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw)
+        if not line:
+            continue
+        if line.startswith(".entry"):
+            entry_label = line.split()[1]
+            continue
+        if line.startswith(".word"):
+            m = re.match(r"^\.word\s+(\d+)\s*=\s*(.+)$", line)
+            if not m:
+                raise AsmError(f"line {lineno}: bad .word directive")
+            value = _parse_operand(m.group(2))
+            memory[int(m.group(1))] = value.value
+            continue
+        if line.startswith(".handler"):
+            m = re.match(r"^\.handler\s+(\d+)\s*=\s*(\S+)$", line)
+            if not m:
+                raise AsmError(f"line {lineno}: bad .handler directive")
+            handlers[int(m.group(1))] = m.group(2)
+            continue
+        m = _LABEL_RE.match(line)
+        if m:
+            name = m.group(1)
+            if name in labels:
+                raise AsmError(f"line {lineno}: duplicate label {name!r}")
+            labels[name] = len(instrs)
+            continue
+        instrs.append(parse_instr(line, lineno))
+
+    trap_handlers = {}
+    for vector, label in handlers.items():
+        if label not in labels:
+            raise AsmError(f"unknown handler label {label!r}")
+        trap_handlers[vector] = labels[label]
+    entry = 0
+    if entry_label is not None:
+        if entry_label not in labels:
+            raise AsmError(f"unknown entry label {entry_label!r}")
+        entry = labels[entry_label]
+    return assemble(instrs, labels=labels, initial_memory=memory,
+                    entry=entry, trap_handlers=trap_handlers)

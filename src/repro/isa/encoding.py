@@ -1,0 +1,289 @@
+"""Bit-level instruction encoding for a 32-bit base format.
+
+The paper's premise is that an existing 32-bit instruction format has no
+spare operand bits: "For existing architectures, the sizes of the opcodes
+and constants are already fixed, leaving no room for indexing into an
+enlarged register file."  This module makes that concrete with a
+demonstrator encoding:
+
+* register operand fields are 6 bits — a 5-bit number plus a class bit —
+  so registers above 31 **cannot be named**; encoding one raises
+  :class:`EncodingError`.  That is exactly why connect instructions exist.
+* single connect instructions fit comfortably in unused opcode space:
+  ``op(6) cls(1) idx(5) phys(8)`` reaches all 256 physical registers of
+  the extended file (section 5.2).
+* combined connects (``connect-use-use`` etc.) need two pairs.  The paper
+  notes they are possible "provided the instruction size is large enough";
+  in 32 bits the second pair only fits with 7-bit physical fields, so the
+  combined forms reach physical registers 0..127.  ``encode`` enforces
+  this — an honest artifact of a real 32-bit budget.
+* ``li`` carries a 16-bit inline immediate or a 16-bit constant-pool index;
+  ALU immediate forms carry 12 bits inline with a pool fallback; branches
+  carry a 14-bit target.
+
+Word layouts (bit 31 is the MSB)::
+
+    R-form    op(6) fmt=00(2) dest(6) src1(6) src2(6) 0(6)
+    I-form    op(6) fmt=01(2) dest(6) src1(6) imm12(12)
+    P-form    op(6) fmt=10(2) dest(6) src1(6) pool12(12)
+    M-form    op(6) fmt=11(2) dest(6) base(6) off12(12)
+    LI        op(6) inline(1) dest(6) pad(3) imm16/pool16(16)
+    BR        op(6) hint(1) src1(6) src2(6) pad(1) target14(14)... (packed)
+    CONNECT   op(6) cls(1) idx(5) phys(8) [idx2(5) phys2(7)]
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.isa.instruction import Instr
+from repro.isa.opcodes import Opcode, spec
+from repro.isa.registers import Imm, PhysReg, RClass
+
+REG_BITS = 5
+REG_MAX = (1 << REG_BITS) - 1
+PHYS_BITS = 8
+PHYS_MAX = (1 << PHYS_BITS) - 1
+PAIR2_PHYS_BITS = 7
+PAIR2_PHYS_MAX = (1 << PAIR2_PHYS_BITS) - 1
+IMM12_MIN, IMM12_MAX = -2048, 2047
+IMM16_MIN, IMM16_MAX = -(1 << 15), (1 << 15) - 1
+TARGET_BITS = 14
+TARGET_MAX = (1 << TARGET_BITS) - 1
+
+_FMT_R, _FMT_I, _FMT_P, _FMT_M = 0, 1, 2, 3
+
+
+class EncodingError(ReproError):
+    """The instruction cannot be represented in the 32-bit base format."""
+
+
+_OPCODE_NUMBERS = {op: i for i, op in enumerate(Opcode)}
+_OPCODE_BY_NUMBER = {i: op for op, i in _OPCODE_NUMBERS.items()}
+
+_CONNECT_OPS = {Opcode.CUSE, Opcode.CDEF, Opcode.CUU, Opcode.CDU, Opcode.CDD}
+_BRANCHY = {Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BLE, Opcode.BGT,
+            Opcode.BGE, Opcode.BEQZ, Opcode.BNEZ, Opcode.JMP, Opcode.CALL}
+
+
+def _reg6(reg) -> int:
+    if not isinstance(reg, PhysReg):
+        raise EncodingError(f"cannot encode virtual operand {reg!r}")
+    if reg.num > REG_MAX:
+        raise EncodingError(
+            f"register {reg!r} does not fit a {REG_BITS}-bit operand field "
+            "- the paper's motivating limitation; reach it via a connect"
+        )
+    return reg.num | ((1 if reg.cls is RClass.FP else 0) << REG_BITS)
+
+
+def _unreg6(field: int) -> PhysReg:
+    cls = RClass.FP if field >> REG_BITS else RClass.INT
+    return PhysReg(cls, field & REG_MAX)
+
+
+class ConstantPool:
+    """Out-of-line storage for constants too large for inline fields."""
+
+    def __init__(self) -> None:
+        self.values: list[int | float] = []
+        self._index: dict[object, int] = {}
+
+    def intern(self, value: int | float) -> int:
+        key = (type(value).__name__, value)
+        if key not in self._index:
+            if len(self.values) > 0xFFFF:
+                raise EncodingError("constant pool overflow")
+            self._index[key] = len(self.values)
+            self.values.append(value)
+        return self._index[key]
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+def _encode_connect(instr: Instr) -> int:
+    imm = instr.imm
+    rclass: RClass = imm[0]
+    word = _OPCODE_NUMBERS[instr.op] << 26
+    word |= (1 if rclass is RClass.FP else 0) << 25
+    idx, phys = imm[1], imm[2]
+    if idx > REG_MAX:
+        raise EncodingError(f"connect index {idx} exceeds {REG_BITS} bits")
+    if phys > PHYS_MAX:
+        raise EncodingError(f"connect target {phys} exceeds 256 registers")
+    word |= idx << 20
+    word |= phys << 12
+    if len(imm) == 5:
+        idx2, phys2 = imm[3], imm[4]
+        if idx2 > REG_MAX:
+            raise EncodingError(f"connect index {idx2} exceeds "
+                                f"{REG_BITS} bits")
+        if phys2 > PAIR2_PHYS_MAX:
+            raise EncodingError(
+                f"combined connect target {phys2} exceeds the "
+                f"{PAIR2_PHYS_BITS}-bit second-pair field (32-bit words "
+                "only fit two full pairs up to r127)"
+            )
+        word |= idx2 << 7
+        word |= phys2
+    return word
+
+
+def _decode_connect(word: int, op: Opcode) -> Instr:
+    rclass = RClass.FP if (word >> 25) & 1 else RClass.INT
+    idx = (word >> 20) & REG_MAX
+    phys = (word >> 12) & PHYS_MAX
+    if op in (Opcode.CUSE, Opcode.CDEF):
+        return Instr(op, imm=(rclass, idx, phys))
+    idx2 = (word >> 7) & REG_MAX
+    phys2 = word & PAIR2_PHYS_MAX
+    return Instr(op, imm=(rclass, idx, phys, idx2, phys2))
+
+
+def encode(instr: Instr, pool: ConstantPool,
+           target: int | None = None) -> int:
+    """Encode one instruction into a 32-bit word."""
+    op = instr.op
+    opnum = _OPCODE_NUMBERS[op]
+    word = opnum << 26
+
+    if op in _CONNECT_OPS:
+        return _encode_connect(instr)
+
+    if op in (Opcode.LI, Opcode.LIF):
+        word |= _reg6(instr.dest) << 19
+        value = instr.imm
+        if op is Opcode.LI and IMM16_MIN <= value <= IMM16_MAX:
+            word |= 1 << 25
+            word |= value & 0xFFFF
+        else:
+            word |= pool.intern(value)
+        return word
+
+    if op is Opcode.TRAP:
+        if not 0 <= instr.imm <= 0xFFFF:
+            raise EncodingError("trap vector exceeds 16 bits")
+        return word | instr.imm
+
+    if op in _BRANCHY:
+        # op(6) hint(1) immflag(1) src1(6) src2|pool(6) target(12)
+        if instr.hint_taken:
+            word |= 1 << 25
+        srcs = list(instr.srcs)
+        if srcs and isinstance(srcs[0], Imm):
+            raise EncodingError("the first branch operand must be a "
+                                "register in the demonstrator format")
+        if srcs:
+            word |= _reg6(srcs[0]) << 18
+        if len(srcs) > 1:
+            if isinstance(srcs[1], Imm):
+                word |= 1 << 24
+                pool_index = pool.intern(srcs[1].value)
+                if pool_index > 0x3F:
+                    raise EncodingError("branch constant pool exceeds "
+                                        "6 bits")
+                word |= pool_index << 12
+            else:
+                word |= _reg6(srcs[1]) << 12
+        if target is None:
+            raise EncodingError(f"unresolved control target for {instr!r}")
+        if not 0 <= target <= 0xFFF:
+            raise EncodingError(f"target {target} exceeds the 12-bit "
+                                "branch target field")
+        word |= target
+        return word
+
+    if op in (Opcode.RET, Opcode.HALT, Opcode.NOP, Opcode.RTE):
+        return word
+
+    if op in (Opcode.LOAD, Opcode.FLOAD, Opcode.STORE, Opcode.FSTORE):
+        # op(6) fmt=11(2) val/dest(6) base(6) vflag(1) bflag(1) off10(10)
+        if not -512 <= instr.imm <= 511:
+            raise EncodingError(f"memory offset {instr.imm} exceeds the "
+                                "10-bit field")
+        word |= _FMT_M << 24
+
+        def _field(operand, flag_bit):
+            nonlocal word
+            if isinstance(operand, Imm):
+                # Constant base/value: pool reference (6-bit index).
+                index = pool.intern(operand.value)
+                if index > 0x3F:
+                    raise EncodingError("memory constant pool exceeds "
+                                        "6 bits")
+                word |= 1 << flag_bit
+                return index
+            return _reg6(operand)
+
+        if op in (Opcode.LOAD, Opcode.FLOAD):
+            word |= _reg6(instr.dest) << 18
+            word |= _field(instr.srcs[0], 10) << 12
+        else:
+            word |= _field(instr.srcs[0], 11) << 18  # stored value
+            word |= _field(instr.srcs[1], 10) << 12  # base
+        word |= instr.imm & 0x3FF
+        return word
+
+    if op in (Opcode.MFPSW, Opcode.MTPSW, Opcode.MFMAP):
+        if op is Opcode.MFMAP:
+            raise EncodingError("mfmap carries out-of-band operands and is "
+                                "not encodable in the demonstrator format")
+        operand = instr.dest if op is Opcode.MFPSW else instr.srcs[0]
+        return word | (_reg6(operand) << 18)
+
+    # Generic ALU forms.
+    srcs = list(instr.srcs)
+    imm_src = next((s for s in srcs if isinstance(s, Imm)), None)
+    if sum(isinstance(s, Imm) for s in srcs) > 1:
+        raise EncodingError("at most one immediate source fits the format")
+    word |= _reg6(instr.dest) << 18
+    reg_srcs = [s for s in srcs if not isinstance(s, Imm)]
+    if reg_srcs:
+        word |= _reg6(reg_srcs[0]) << 12
+    if imm_src is None:
+        word |= _FMT_R << 24
+        if len(reg_srcs) > 1:
+            word |= _reg6(reg_srcs[1]) << 6
+    else:
+        if srcs and isinstance(srcs[0], Imm) and len(srcs) == 2:
+            raise EncodingError("immediate must be the second source in "
+                                "the demonstrator format")
+        value = imm_src.value
+        if IMM12_MIN <= value <= IMM12_MAX:
+            word |= _FMT_I << 24
+            word |= value & 0xFFF
+        else:
+            word |= _FMT_P << 24
+            pool_index = pool.intern(value)
+            if pool_index > 0xFFF:
+                raise EncodingError("constant pool index exceeds 12 bits")
+            word |= pool_index
+    return word
+
+
+def decode_opcode(word: int) -> Opcode:
+    number = word >> 26
+    if number not in _OPCODE_BY_NUMBER:
+        raise EncodingError(f"illegal opcode field {number}")
+    return _OPCODE_BY_NUMBER[number]
+
+
+def decode_connect(word: int) -> Instr:
+    """Fully decode a connect word back to an instruction."""
+    op = decode_opcode(word)
+    if op not in _CONNECT_OPS:
+        raise EncodingError(f"{op} is not a connect instruction")
+    return _decode_connect(word, op)
+
+
+def encode_program(instrs, targets) -> tuple[list[int], ConstantPool]:
+    """Encode an instruction sequence; returns (words, constant pool)."""
+    pool = ConstantPool()
+    words = [encode(instr, pool, target)
+             for instr, target in zip(instrs, targets)]
+    return words, pool
+
+
+def encodable_core_size() -> int:
+    """The largest core register file nameable by the operand fields."""
+    return REG_MAX + 1

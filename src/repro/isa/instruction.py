@@ -1,0 +1,214 @@
+"""The instruction type shared by the compiler IR and machine code.
+
+A single mutable :class:`Instr` class is used at every stage of the pipeline:
+the IR builder creates instructions over virtual registers, the register
+allocator rewrites operands to physical registers in place, and the lowering
+pass resolves labels.  "Machine code" is simply an instruction whose register
+operands are all :class:`~repro.isa.registers.PhysReg`.
+
+Operand conventions by opcode family:
+
+* ALU ops: ``dest`` plus one or two ``srcs`` (integer source slots accept
+  :class:`~repro.isa.registers.Imm`).
+* ``LI``/``LIF``: ``dest`` and ``imm`` (the constant).
+* loads: ``dest``, ``srcs = (base,)``, ``imm`` = word offset.
+* stores: ``srcs = (value, base)``, ``imm`` = word offset.
+* conditional branches: ``srcs`` and ``label``; ``hint_taken`` carries the
+  compiler's static branch prediction.
+* ``CALL``: ``label`` = callee name, ``srcs`` = argument registers (IR form
+  only; lowering turns them into stack stores), ``dest`` = return value or
+  ``None``.
+* connects: ``imm`` is a tuple ``(rclass, ri, rp)`` for the two-operand forms
+  and ``(rclass, ri1, rp1, ri2, rp2)`` for the combined forms (section 2.2).
+* ``TRAP``: ``imm`` = vector number.  ``MFMAP``: ``imm = (rclass, index,
+  which)`` with ``which`` in ``("read", "write")``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.isa.opcodes import CONNECT_OPS, Category, Opcode, spec
+from repro.isa.registers import Imm, PhysReg, RClass, VReg
+
+Operand = PhysReg | VReg | Imm
+
+
+class Instr:
+    """One instruction (IR or machine level)."""
+
+    __slots__ = ("op", "dest", "srcs", "imm", "label", "hint_taken", "origin",
+                 "alias")
+
+    def __init__(
+        self,
+        op: Opcode,
+        dest: Operand | None = None,
+        srcs: Iterable[Operand] = (),
+        imm: object = None,
+        label: str | None = None,
+        hint_taken: bool | None = None,
+        origin: str | None = None,
+    ) -> None:
+        self.op = op
+        self.dest = dest
+        self.srcs: tuple[Operand, ...] = tuple(srcs)
+        self.imm = imm
+        self.label = label
+        self.hint_taken = hint_taken
+        #: provenance tag used by code-size accounting: ``None`` for original
+        #: program instructions, or one of ``"spill"``, ``"connect"``,
+        #: ``"callsave"``, ``"frame"`` for compiler-inserted overhead.
+        self.origin = origin
+        #: memory-region provenance for loads/stores, set by the compiler's
+        #: alias analysis: ``("global", name)`` or ``("stack",)``; ``None``
+        #: means unknown (assume it may alias anything).
+        self.alias = None
+
+    # -- structural queries -------------------------------------------------
+
+    @property
+    def category(self) -> Category:
+        return spec(self.op).category
+
+    @property
+    def is_branch(self) -> bool:
+        return spec(self.op).is_branch
+
+    @property
+    def is_cond_branch(self) -> bool:
+        return spec(self.op).is_cond_branch
+
+    @property
+    def is_mem(self) -> bool:
+        return spec(self.op).is_mem
+
+    @property
+    def is_connect(self) -> bool:
+        return self.op in CONNECT_OPS
+
+    @property
+    def is_call(self) -> bool:
+        return self.op is Opcode.CALL
+
+    def reg_srcs(self) -> Iterator[PhysReg | VReg]:
+        """Register (non-immediate) source operands."""
+        for s in self.srcs:
+            if not isinstance(s, Imm):
+                yield s
+
+    def regs(self) -> Iterator[PhysReg | VReg]:
+        """All register operands (sources then destination)."""
+        yield from self.reg_srcs()
+        if self.dest is not None:
+            yield self.dest
+
+    def replace_operands(self, mapping: dict) -> None:
+        """Rewrite register operands through *mapping* in place.
+
+        Operands not present in *mapping* are left untouched.
+        """
+        self.srcs = tuple(
+            mapping.get(s, s) if not isinstance(s, Imm) else s for s in self.srcs
+        )
+        if self.dest is not None:
+            self.dest = mapping.get(self.dest, self.dest)
+
+    def copy(self) -> "Instr":
+        clone = Instr(
+            self.op,
+            dest=self.dest,
+            srcs=self.srcs,
+            imm=self.imm,
+            label=self.label,
+            hint_taken=self.hint_taken,
+            origin=self.origin,
+        )
+        clone.alias = self.alias
+        return clone
+
+    # -- connect helpers ----------------------------------------------------
+
+    def connect_updates(self) -> list[tuple[RClass, str, int, int]]:
+        """Decode a connect instruction into map updates.
+
+        Returns a list of ``(rclass, which, index, phys)`` tuples where
+        ``which`` is ``"read"`` (connect-use) or ``"write"`` (connect-def).
+        """
+        if not self.is_connect:
+            raise ValueError(f"{self.op} is not a connect instruction")
+        imm = self.imm
+        rclass: RClass = imm[0]
+        if self.op is Opcode.CUSE:
+            return [(rclass, "read", imm[1], imm[2])]
+        if self.op is Opcode.CDEF:
+            return [(rclass, "write", imm[1], imm[2])]
+        if self.op is Opcode.CUU:
+            return [
+                (rclass, "read", imm[1], imm[2]),
+                (rclass, "read", imm[3], imm[4]),
+            ]
+        if self.op is Opcode.CDU:
+            return [
+                (rclass, "write", imm[1], imm[2]),
+                (rclass, "read", imm[3], imm[4]),
+            ]
+        return [
+            (rclass, "write", imm[1], imm[2]),
+            (rclass, "write", imm[3], imm[4]),
+        ]
+
+    # -- display ------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        parts = [self.op.value]
+        ops = []
+        if self.dest is not None:
+            ops.append(repr(self.dest))
+        ops.extend(repr(s) for s in self.srcs)
+        if self.imm is not None:
+            ops.append(f"imm={self.imm!r}")
+        if self.label is not None:
+            ops.append(f"->{self.label}")
+        if ops:
+            parts.append(" ".join(ops))
+        return f"<{' '.join(parts)}>"
+
+
+def connect_use(rclass: RClass, ri: int, rp: int, origin: str = "connect") -> Instr:
+    """Build a ``connect-use`` instruction: redirect reads of index *ri* to *rp*."""
+    return Instr(Opcode.CUSE, imm=(rclass, ri, rp), origin=origin)
+
+
+def connect_def(rclass: RClass, ri: int, rp: int, origin: str = "connect") -> Instr:
+    """Build a ``connect-def`` instruction: redirect writes of index *ri* to *rp*."""
+    return Instr(Opcode.CDEF, imm=(rclass, ri, rp), origin=origin)
+
+
+def combine_connects(first: Instr, second: Instr) -> Instr | None:
+    """Combine two adjacent two-operand connects into a multiple-connect.
+
+    Returns the combined instruction, or ``None`` if the pair cannot be
+    combined (different register classes).  Mirrors paper section 2.2:
+    connect-use-use, connect-def-use and connect-def-def.
+    """
+    if first.op not in (Opcode.CUSE, Opcode.CDEF):
+        return None
+    if second.op not in (Opcode.CUSE, Opcode.CDEF):
+        return None
+    if first.imm[0] is not second.imm[0]:
+        return None
+    origin = first.origin or second.origin or "connect"
+    a_kind, b_kind = first.op, second.op
+    a, b = first.imm[1:], second.imm[1:]
+    rclass = first.imm[0]
+    if a_kind is Opcode.CUSE and b_kind is Opcode.CUSE:
+        op = Opcode.CUU
+    elif a_kind is Opcode.CDEF and b_kind is Opcode.CDEF:
+        op = Opcode.CDD
+    else:
+        # Normalize to def-use order.
+        op = Opcode.CDU
+        if a_kind is Opcode.CUSE:
+            a, b = b, a
+    return Instr(op, imm=(rclass, a[0], a[1], b[0], b[1]), origin=origin)

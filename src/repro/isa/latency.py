@@ -1,0 +1,88 @@
+"""Instruction latency model (Table 1 of the paper).
+
+| Instruction  | Latency  | Instruction   | Latency |
+|--------------|----------|---------------|---------|
+| INT ALU      | 1        | FP ALU        | 3       |
+| INT multiply | 3        | FP conversion | 3       |
+| INT divide   | 10       | FP multiply   | 3       |
+| branch       | 1/1-slot | FP divide     | 10      |
+| memory load  | 2 or 4   | memory store  | 1       |
+
+Connect instructions have a configurable latency of 0 or 1 cycle
+(paper sections 2.4 and 5.3, Figure 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.isa.opcodes import Category, Opcode, spec
+
+#: Fixed latencies per category; LOAD and CONNECT are configuration-dependent.
+FIXED_LATENCIES: dict[Category, int] = {
+    Category.INT_ALU: 1,
+    Category.INT_MUL: 3,
+    Category.INT_DIV: 10,
+    Category.BRANCH: 1,
+    Category.STORE: 1,
+    Category.FP_ALU: 3,
+    Category.FP_CVT: 3,
+    Category.FP_MUL: 3,
+    Category.FP_DIV: 10,
+    Category.SYSTEM: 1,
+    Category.MISC: 1,
+}
+
+VALID_LOAD_LATENCIES = (2, 4)
+VALID_CONNECT_LATENCIES = (0, 1)
+
+
+@dataclass(frozen=True, slots=True)
+class LatencyModel:
+    """Maps opcodes to deterministic execution latencies.
+
+    ``load`` is 2 or 4 cycles (the two configurations evaluated in the
+    paper); ``connect`` is 0 or 1 (section 2.4 / Figure 12).
+    """
+
+    load: int = 2
+    connect: int = 0
+
+    def __post_init__(self) -> None:
+        if self.load not in VALID_LOAD_LATENCIES:
+            raise ConfigError(f"load latency must be one of {VALID_LOAD_LATENCIES}")
+        if self.connect not in VALID_CONNECT_LATENCIES:
+            raise ConfigError(
+                f"connect latency must be one of {VALID_CONNECT_LATENCIES}"
+            )
+
+    def of_category(self, category: Category) -> int:
+        if category is Category.LOAD:
+            return self.load
+        if category is Category.CONNECT:
+            return self.connect
+        return FIXED_LATENCIES[category]
+
+    def of(self, op: Opcode) -> int:
+        """Latency of *op* in cycles."""
+        return self.of_category(spec(op).category)
+
+
+def table1_rows(model: LatencyModel | None = None) -> list[tuple[str, str]]:
+    """Render Table 1 as (instruction-class, latency) rows."""
+    model = model or LatencyModel()
+    rows = [
+        ("INT ALU", "1"),
+        ("INT multiply", "3"),
+        ("INT divide", "10"),
+        ("branch", "1/1-slot"),
+        ("memory load", "2 or 4"),
+        ("memory store", "1"),
+        ("FP ALU", "3"),
+        ("FP conversion", "3"),
+        ("FP multiply", "3"),
+        ("FP divide", "10"),
+        ("connect (RC)", f"{model.connect} (configurable 0 or 1)"),
+    ]
+    return rows

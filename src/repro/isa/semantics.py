@@ -1,0 +1,109 @@
+"""Functional semantics of the instruction set.
+
+These pure functions are the single source of truth for what every opcode
+*computes*; both the IR interpreter (the golden model) and the cycle-level
+simulator evaluate operations through this module, so any semantic bug shows
+up as an equivalence failure rather than silently matching.
+
+Integer arithmetic wraps to signed 64 bits (the simulated machine is a 64-bit
+MIPS-like core); floating point is IEEE double, i.e. the host ``float``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import SimulationFault
+from repro.isa.opcodes import Opcode
+
+_MASK = (1 << 64) - 1
+_SIGN = 1 << 63
+
+
+def wrap64(value: int) -> int:
+    """Wrap *value* to a signed 64-bit integer."""
+    value &= _MASK
+    return value - (1 << 64) if value & _SIGN else value
+
+
+def _div_trunc(a: int, b: int) -> int:
+    if b == 0:
+        raise SimulationFault("integer divide by zero")
+    q = abs(a) // abs(b)
+    return wrap64(-q if (a < 0) != (b < 0) else q)
+
+
+def _rem_trunc(a: int, b: int) -> int:
+    if b == 0:
+        raise SimulationFault("integer remainder by zero")
+    return wrap64(a - _div_trunc(a, b) * b)
+
+
+def _shift_amount(b: int) -> int:
+    return b & 63
+
+
+def _srl(a: int, b: int) -> int:
+    return wrap64((a & _MASK) >> _shift_amount(b))
+
+
+def _fdiv(a: float, b: float) -> float:
+    if b == 0.0:
+        raise SimulationFault("floating-point divide by zero")
+    return a / b
+
+
+#: Opcode -> function of source values producing the destination value.
+ALU_FUNCS: dict[Opcode, Callable] = {
+    Opcode.MOVE: lambda a: a,
+    Opcode.ADD: lambda a, b: wrap64(a + b),
+    Opcode.SUB: lambda a, b: wrap64(a - b),
+    Opcode.AND: lambda a, b: wrap64(a & b),
+    Opcode.OR: lambda a, b: wrap64(a | b),
+    Opcode.XOR: lambda a, b: wrap64(a ^ b),
+    Opcode.SLL: lambda a, b: wrap64(a << _shift_amount(b)),
+    Opcode.SRL: _srl,
+    Opcode.SRA: lambda a, b: wrap64(a >> _shift_amount(b)),
+    Opcode.CMPEQ: lambda a, b: int(a == b),
+    Opcode.CMPNE: lambda a, b: int(a != b),
+    Opcode.CMPLT: lambda a, b: int(a < b),
+    Opcode.CMPLE: lambda a, b: int(a <= b),
+    Opcode.CMPGT: lambda a, b: int(a > b),
+    Opcode.CMPGE: lambda a, b: int(a >= b),
+    Opcode.MUL: lambda a, b: wrap64(a * b),
+    Opcode.DIV: _div_trunc,
+    Opcode.REM: _rem_trunc,
+    Opcode.FMOV: lambda a: a,
+    Opcode.FNEG: lambda a: -a,
+    Opcode.FADD: lambda a, b: a + b,
+    Opcode.FSUB: lambda a, b: a - b,
+    Opcode.FMUL: lambda a, b: a * b,
+    Opcode.FDIV: _fdiv,
+    Opcode.FCMPEQ: lambda a, b: int(a == b),
+    Opcode.FCMPLT: lambda a, b: int(a < b),
+    Opcode.FCMPLE: lambda a, b: int(a <= b),
+    Opcode.CVTIF: lambda a: float(a),
+    Opcode.CVTFI: lambda a: wrap64(int(a)),
+}
+
+#: Opcode -> predicate over source values; True means the branch is taken.
+BRANCH_FUNCS: dict[Opcode, Callable] = {
+    Opcode.BEQ: lambda a, b: a == b,
+    Opcode.BNE: lambda a, b: a != b,
+    Opcode.BLT: lambda a, b: a < b,
+    Opcode.BLE: lambda a, b: a <= b,
+    Opcode.BGT: lambda a, b: a > b,
+    Opcode.BGE: lambda a, b: a >= b,
+    Opcode.BEQZ: lambda a: a == 0,
+    Opcode.BNEZ: lambda a: a != 0,
+}
+
+
+def evaluate(op: Opcode, *values):
+    """Evaluate a computational opcode over already-fetched source values."""
+    return ALU_FUNCS[op](*values)
+
+
+def branch_taken(op: Opcode, *values) -> bool:
+    """Whether conditional branch *op* is taken for the given source values."""
+    return BRANCH_FUNCS[op](*values)

@@ -1,0 +1,109 @@
+"""Context-switch support (paper section 4.2).
+
+Programs compiled for the extended architecture need core registers, extended
+registers, *and* the connection information preserved across a context
+switch.  Programs compiled for the original architecture only need the core
+registers, "although saving and restoring extended registers and connection
+information would still result in correct operation."  The ``rc_mode`` PSW
+flag selects between the two process-context formats, which is exactly the
+optimization the paper describes.
+
+The functions here operate on plain register-file lists and
+:class:`~repro.rc.mapping_table.MappingTable` objects, so they are usable
+both from tests and from the simulator's OS-model helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.rc.mapping_table import MappingTable
+from repro.rc.psw import PSW
+
+
+@dataclass
+class ClassContext:
+    """Saved state for one register class."""
+
+    core: list = field(default_factory=list)
+    extended: list = field(default_factory=list)
+    read_map: list[int] | None = None
+    write_map: list[int] | None = None
+
+
+@dataclass
+class ProcessContext:
+    """A saved process context in either the legacy or the extended format."""
+
+    psw_value: int
+    int_state: ClassContext
+    fp_state: ClassContext
+
+    @property
+    def is_extended_format(self) -> bool:
+        return bool(PSW.unpack(self.psw_value).rc_mode)
+
+    def word_count(self) -> int:
+        """Size of this context frame in words (PSW + registers + maps)."""
+        words = 1
+        for state in (self.int_state, self.fp_state):
+            words += len(state.core) + len(state.extended)
+            if state.read_map is not None:
+                words += len(state.read_map) + len(state.write_map)
+        return words
+
+
+def _save_class(regs: list, table: MappingTable | None,
+                extended_format: bool) -> ClassContext:
+    if table is None:
+        return ClassContext(core=list(regs))
+    core = list(regs[: table.entries])
+    if not extended_format:
+        return ClassContext(core=core)
+    read_map, write_map = table.snapshot()
+    return ClassContext(
+        core=core,
+        extended=list(regs[table.entries:]),
+        read_map=read_map,
+        write_map=write_map,
+    )
+
+
+def save_context(psw: PSW, int_regs: list, fp_regs: list,
+                 int_table: MappingTable | None,
+                 fp_table: MappingTable | None) -> ProcessContext:
+    """Save a process context, choosing the format from ``psw.rc_mode``."""
+    extended = psw.rc_mode
+    return ProcessContext(
+        psw_value=psw.pack(),
+        int_state=_save_class(int_regs, int_table, extended),
+        fp_state=_save_class(fp_regs, fp_table, extended),
+    )
+
+
+def _restore_class(state: ClassContext, regs: list,
+                   table: MappingTable | None) -> None:
+    if len(state.core) > len(regs):
+        raise SimulationError("context core section larger than register file")
+    regs[: len(state.core)] = state.core
+    if table is None:
+        return
+    if state.read_map is not None:
+        regs[table.entries: table.entries + len(state.extended)] = state.extended
+        table.restore((state.read_map, state.write_map))
+    else:
+        # Legacy-format restore: the process never touched the map, but the
+        # architecture guarantees home mapping after a switch regardless.
+        table.reset_home()
+
+
+def restore_context(ctx: ProcessContext, psw: PSW, int_regs: list,
+                    fp_regs: list, int_table: MappingTable | None,
+                    fp_table: MappingTable | None) -> None:
+    """Restore a previously saved process context in place."""
+    restored = PSW.unpack(ctx.psw_value)
+    psw.map_enable = restored.map_enable
+    psw.rc_mode = restored.rc_mode
+    _restore_class(ctx.int_state, int_regs, int_table)
+    _restore_class(ctx.fp_state, fp_regs, fp_table)

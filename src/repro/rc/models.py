@@ -1,0 +1,58 @@
+"""The four automatic register connection models (paper section 2.3).
+
+After an instruction writes a register through map index ``Rix``, the
+hardware may automatically adjust the mapping table entry of ``Rix``:
+
+1. **NO_RESET** — the map is unchanged; only explicit connects modify it.
+2. **WRITE_RESET** — the write map is reset to the home location
+   (``Rix_write := Rpx``) so subsequent writes return to the core register,
+   but a connect-use is still needed to read the written value.
+3. **WRITE_RESET_READ_UPDATE** — additionally the read map is replaced by
+   the previous write map (``Rix_read := Rix_write; Rix_write := Rpx``),
+   so the written value is readable without an extra connect-use.  This is
+   the model the paper implements and simulates.
+4. **READ_WRITE_RESET** — both maps reset to the home location
+   (``Rix_read := Rpx; Rix_write := Rpx``), emphasizing free use of the core
+   section.
+
+The paper adds: "Other strategies for automatic register connection for the
+source registers are possible; however, they are not considered in this
+paper."  We implement one such strategy as model 5:
+
+5. **READ_RESET** (ours) — a *read* through ``Rix`` resets its read map to
+   the home location (one-shot read connections), combined with model 2's
+   write reset.  Every access to an extended register then needs its own
+   connect, which quantifies how much the paper's sticky read connections
+   are worth.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class RCModel(enum.Enum):
+    NO_RESET = 1
+    WRITE_RESET = 2
+    WRITE_RESET_READ_UPDATE = 3
+    READ_WRITE_RESET = 4
+    READ_RESET = 5
+
+    @property
+    def resets_write_map(self) -> bool:
+        return self is not RCModel.NO_RESET
+
+    @property
+    def updates_read_map(self) -> bool:
+        """Whether a write makes the written value readable through its index."""
+        return self in (RCModel.WRITE_RESET_READ_UPDATE,
+                        RCModel.READ_WRITE_RESET)
+
+    @property
+    def resets_read_map_on_read(self) -> bool:
+        """Whether a read through an index resets its read map (model 5)."""
+        return self is RCModel.READ_RESET
+
+
+#: The model evaluated in the paper's experiments.
+DEFAULT_MODEL = RCModel.WRITE_RESET_READ_UPDATE

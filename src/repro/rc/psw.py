@@ -1,0 +1,52 @@
+"""Processor status word bits for the RC extension (paper sections 4.2-4.3).
+
+Two flags are added to the PSW:
+
+* ``map_enable`` — when clear, register accesses bypass the mapping table and
+  go directly to the core registers.  Traps and interrupts clear this flag on
+  entry so time-critical handlers need not save/connect/restore map entries;
+  ``rte`` restores the saved PSW, automatically re-enabling the map.
+* ``rc_mode`` — marks the running process as compiled for the extended
+  architecture.  The context-switch code uses it to choose between the legacy
+  (core-only) and extended (core + extended + connection info) context
+  formats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+MAP_ENABLE_BIT = 1 << 0
+RC_MODE_BIT = 1 << 1
+
+
+@dataclass
+class PSW:
+    """The processor status word (only RC-relevant bits are modeled)."""
+
+    map_enable: bool = True
+    rc_mode: bool = True
+
+    def pack(self) -> int:
+        """Encode as an integer for ``mfpsw``/``mtpsw`` and context frames."""
+        value = 0
+        if self.map_enable:
+            value |= MAP_ENABLE_BIT
+        if self.rc_mode:
+            value |= RC_MODE_BIT
+        return value
+
+    @classmethod
+    def unpack(cls, value: int) -> "PSW":
+        return cls(
+            map_enable=bool(value & MAP_ENABLE_BIT),
+            rc_mode=bool(value & RC_MODE_BIT),
+        )
+
+    def copy(self) -> "PSW":
+        return PSW(self.map_enable, self.rc_mode)
+
+    @classmethod
+    def legacy(cls) -> "PSW":
+        """PSW for a program compiled for the original architecture."""
+        return cls(map_enable=True, rc_mode=False)

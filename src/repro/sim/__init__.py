@@ -1,0 +1,33 @@
+"""Cycle-level superscalar simulator with Register Connection support."""
+
+from repro.sim.config import (
+    MachineConfig,
+    default_memory_channels,
+    paper_machine,
+    unlimited_machine,
+)
+from repro.sim.core import SimResult, Simulator, simulate
+from repro.sim.machine import MachineState
+from repro.sim.os_model import ProcessRecord, ScheduleOutcome, TimeSharingSystem
+from repro.sim.program import MachineProgram, assemble
+from repro.sim.stats import SimStats
+from repro.sim.tracing import PipelineTrace, capture_trace
+
+__all__ = [
+    "MachineConfig",
+    "MachineProgram",
+    "MachineState",
+    "ProcessRecord",
+    "ScheduleOutcome",
+    "TimeSharingSystem",
+    "SimResult",
+    "SimStats",
+    "Simulator",
+    "PipelineTrace",
+    "assemble",
+    "capture_trace",
+    "default_memory_channels",
+    "paper_machine",
+    "simulate",
+    "unlimited_machine",
+]

@@ -1,0 +1,65 @@
+"""Architectural state of the simulated machine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.rc.context import ProcessContext, restore_context, save_context
+from repro.rc.mapping_table import MappingTable
+from repro.rc.psw import PSW
+from repro.sim.config import MachineConfig
+
+
+class MachineState:
+    """Register files, memory, mapping tables, PSW, and linkage stacks."""
+
+    __slots__ = (
+        "config", "int_regs", "fp_regs", "memory", "psw",
+        "int_table", "fp_table", "ra_stack", "trap_stack",
+    )
+
+    def __init__(self, config: MachineConfig,
+                 initial_memory: dict[int, int | float] | None = None,
+                 rc_process: bool | None = None) -> None:
+        self.config = config
+        self.int_regs: list[int] = [0] * config.int_spec.total
+        self.fp_regs: list[float] = [0.0] * config.fp_spec.total
+        self.memory: dict[int, int | float] = dict(initial_memory or {})
+        if rc_process is None:
+            rc_process = config.has_rc
+        self.psw = PSW(map_enable=True, rc_mode=rc_process)
+        self.int_table = (
+            MappingTable(config.int_spec.core, config.int_spec.total,
+                         config.rc_model)
+            if config.int_spec.has_rc else None
+        )
+        self.fp_table = (
+            MappingTable(config.fp_spec.core, config.fp_spec.total,
+                         config.rc_model)
+            if config.fp_spec.has_rc else None
+        )
+        #: Hardware return-address stack (stands in for a link register; see
+        #: DESIGN.md substitutions).
+        self.ra_stack: list[int] = []
+        #: Trap shadow: (saved PSW, return PC) pairs.
+        self.trap_stack: list[tuple[int, int]] = []
+
+    # -- context switching (paper section 4.2) --------------------------------
+
+    def save_process_context(self) -> ProcessContext:
+        """Save this process's context in the format chosen by PSW.rc_mode."""
+        return save_context(self.psw, self.int_regs, self.fp_regs,
+                            self.int_table, self.fp_table)
+
+    def restore_process_context(self, ctx: ProcessContext) -> None:
+        restore_context(ctx, self.psw, self.int_regs, self.fp_regs,
+                        self.int_table, self.fp_table)
+
+    # -- subroutine linkage map reset (paper section 4.1) ----------------------
+
+    def reset_maps_home(self) -> None:
+        """The ``jsr``/``rts`` whole-map reset to home locations."""
+        if self.int_table is not None:
+            self.int_table.reset_home()
+        if self.fp_table is not None:
+            self.fp_table.reset_home()

@@ -1,0 +1,134 @@
+"""A miniature time-sharing OS model exercising context switching.
+
+Paper section 4.2: programs compiled with the RC extension need core
+registers, extended registers, *and* the connection information preserved
+across context switches; legacy programs need only the core registers, and
+the PSW ``rc_mode`` flag lets the context-switch code choose the cheaper
+format.
+
+:class:`TimeSharingSystem` round-robins a set of processes on the resumable
+simulator with a fixed cycle quantum.  At every preemption the outgoing
+process's context is saved in the format its PSW selects, the register
+files and mapping tables are *deliberately scrambled* (standing in for
+other processes using the hardware), and the context is restored before the
+process next runs.  A context format that forgets any architecturally
+visible state therefore corrupts results — the checksum verification at the
+end is a real test of section 4.2's scheme, not an accounting exercise.
+
+Each process runs its own :class:`~repro.sim.machine.MachineState`
+(modeling per-process address spaces); the scramble/restore cycle is what
+models the shared physical register file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.rc.context import ProcessContext
+from repro.sim.config import MachineConfig
+from repro.sim.core import Simulator
+from repro.sim.program import MachineProgram
+
+
+@dataclass
+class ProcessRecord:
+    """Book-keeping for one scheduled process."""
+
+    pid: int
+    name: str
+    simulator: Simulator
+    saved: ProcessContext | None = None
+    finished: bool = False
+    cycles: int = 0
+    switches: int = 0
+    context_words: int = 0
+
+
+@dataclass
+class ScheduleOutcome:
+    """The result of running a workload mix to completion."""
+
+    processes: list[ProcessRecord]
+    total_switches: int = 0
+    total_context_words: int = 0
+
+    def process(self, name: str) -> ProcessRecord:
+        for proc in self.processes:
+            if proc.name == name:
+                return proc
+        raise KeyError(name)
+
+
+def _scramble(simulator: Simulator, salt: int) -> None:
+    """Trash all architecturally visible register state (another process
+    'used' the hardware between our quanta)."""
+    state = simulator.state
+    for i in range(len(state.int_regs)):
+        state.int_regs[i] = -(salt + i) - 1
+    for i in range(len(state.fp_regs)):
+        state.fp_regs[i] = float(-(salt + i)) - 0.5
+    for table in (state.int_table, state.fp_table):
+        if table is not None:
+            for i in range(table.entries):
+                table.connect_use(i, (i + salt) % table.num_physical)
+                table.connect_def(i, (i + 2 * salt) % table.num_physical)
+    state.psw.map_enable = bool(salt % 2)
+
+
+class TimeSharingSystem:
+    """Round-robin scheduler over resumable simulators."""
+
+    def __init__(self, config: MachineConfig, quantum: int = 500) -> None:
+        if quantum < 1:
+            raise SimulationError("quantum must be at least one cycle")
+        self.config = config
+        self.quantum = quantum
+        self._processes: list[ProcessRecord] = []
+
+    def add_process(self, program: MachineProgram, name: str | None = None,
+                    rc_process: bool | None = None) -> ProcessRecord:
+        """Register a process; ``rc_process=False`` marks a legacy binary
+        (its context will use the cheaper core-only format)."""
+        simulator = Simulator(program, self.config)
+        if rc_process is not None:
+            simulator.state.psw.rc_mode = rc_process
+        record = ProcessRecord(
+            pid=len(self._processes),
+            name=name or program.name,
+            simulator=simulator,
+        )
+        self._processes.append(record)
+        return record
+
+    def run(self, max_switches: int = 1_000_000) -> ScheduleOutcome:
+        """Run all processes to completion under round-robin scheduling."""
+        outcome = ScheduleOutcome(processes=self._processes)
+        switches = 0
+        while any(not p.finished for p in self._processes):
+            for proc in self._processes:
+                if proc.finished:
+                    continue
+                switches += 1
+                if switches > max_switches:
+                    raise SimulationError("scheduler exceeded max switches")
+                state = proc.simulator.state
+                if proc.saved is not None:
+                    state.restore_process_context(proc.saved)
+                    proc.saved = None
+                result = proc.simulator.run(
+                    until_cycle=proc.cycles + self.quantum
+                )
+                proc.cycles = result.stats.cycles
+                if result.halted:
+                    proc.finished = True
+                    continue
+                ctx = state.save_process_context()
+                proc.saved = ctx
+                proc.switches += 1
+                proc.context_words += ctx.word_count()
+                outcome.total_context_words += ctx.word_count()
+                # Another process dirties every register and map entry.
+                _scramble(proc.simulator, salt=proc.pid * 7 + proc.switches)
+        outcome.total_switches = sum(p.switches for p in self._processes)
+        return outcome

@@ -1,0 +1,85 @@
+"""Machine-program container executed by the simulator.
+
+A :class:`MachineProgram` is a flat instruction array with all register
+operands physical and all control-flow targets resolved to instruction
+indices.  The compiler's lowering pass produces these; tests may also build
+them by hand with :func:`assemble`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.errors import CompileError
+from repro.ir.function import STACK_BASE
+from repro.isa.instruction import Instr
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import Imm, PhysReg
+
+
+@dataclass
+class MachineProgram:
+    """A fully lowered, executable program image."""
+
+    instrs: list[Instr]
+    #: Per-instruction resolved control target (instruction index) for
+    #: branches, jumps, and calls; ``None`` elsewhere.
+    targets: list[int | None]
+    initial_memory: dict[int, int | float] = field(default_factory=dict)
+    entry: int = 0
+    initial_sp: int = STACK_BASE
+    #: vector number -> handler instruction index (trap/interrupt table).
+    trap_handlers: dict[int, int] = field(default_factory=dict)
+    name: str = "program"
+    #: function name -> (start, end) instruction index range.
+    func_ranges: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.targets) != len(self.instrs):
+            raise CompileError("targets array must parallel instrs")
+        for i, (instr, target) in enumerate(zip(self.instrs, self.targets)):
+            if target is not None and not 0 <= target < len(self.instrs):
+                raise CompileError(f"instr {i}: target {target} out of range")
+            for reg in instr.regs():
+                if not isinstance(reg, PhysReg):
+                    raise CompileError(
+                        f"instr {i}: unallocated operand {reg!r} in {instr!r}"
+                    )
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+    def static_counts(self) -> Counter:
+        """Static instruction counts keyed by origin tag.
+
+        ``None`` (program instructions) plus the compiler-overhead tags
+        ``spill``, ``connect``, ``callsave`` and ``frame``; used for the code
+        size analysis of Figure 9.
+        """
+        return Counter(instr.origin for instr in self.instrs)
+
+    def function_of(self, index: int) -> str | None:
+        for name, (start, end) in self.func_ranges.items():
+            if start <= index < end:
+                return name
+        return None
+
+
+def assemble(instrs: list[Instr], labels: dict[str, int] | None = None,
+             **kwargs) -> MachineProgram:
+    """Build a :class:`MachineProgram` from instructions with textual labels.
+
+    ``labels`` maps label names to instruction indices; every branch, jump or
+    call label must resolve.  Convenience for tests and examples.
+    """
+    labels = labels or {}
+    targets: list[int | None] = []
+    for i, instr in enumerate(instrs):
+        if instr.label is not None and instr.op is not Opcode.RET:
+            if instr.label not in labels:
+                raise CompileError(f"instr {i}: unresolved label {instr.label!r}")
+            targets.append(labels[instr.label])
+        else:
+            targets.append(None)
+    return MachineProgram(instrs=list(instrs), targets=targets, **kwargs)

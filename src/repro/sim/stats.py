@@ -1,0 +1,44 @@
+"""Execution statistics collected by the simulator."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SimStats:
+    """Counters for one simulation run."""
+
+    cycles: int = 0
+    instructions: int = 0
+    by_category: Counter = field(default_factory=Counter)
+    #: dynamic instruction counts keyed by compiler origin tag
+    #: (None = program, "spill", "connect", "callsave", "frame").
+    by_origin: Counter = field(default_factory=Counter)
+    branches: int = 0
+    mispredicts: int = 0
+    zero_issue_cycles: int = 0
+    mem_channel_stalls: int = 0
+    interrupts: int = 0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def summary(self) -> str:
+        lines = [
+            f"cycles             {self.cycles}",
+            f"instructions       {self.instructions}",
+            f"IPC                {self.ipc:.3f}",
+            f"branches           {self.branches}"
+            f" ({self.mispredicts} mispredicted)",
+            f"zero-issue cycles  {self.zero_issue_cycles}",
+            f"mem channel stalls {self.mem_channel_stalls}",
+        ]
+        overhead = {k: v for k, v in self.by_origin.items() if k is not None}
+        if overhead:
+            lines.append("overhead instructions:")
+            for key in sorted(overhead):
+                lines.append(f"  {key:<10} {overhead[key]}")
+        return "\n".join(lines)

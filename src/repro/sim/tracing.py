@@ -1,0 +1,107 @@
+"""Pipeline tracing and text visualization.
+
+Uses the simulator's per-issue hook to record ``(cycle, pc)`` pairs and
+renders them as an annotated listing: a ``|`` marks the start of each issue
+group, so issue-width utilization and stalls are visible at a glance —
+exactly the view needed to see zero-cycle connects sharing a cycle with
+their consumers (paper section 2.4).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.isa.asmfmt import format_instr
+from repro.sim.config import MachineConfig
+from repro.sim.core import Simulator
+from repro.sim.program import MachineProgram
+
+
+@dataclass
+class PipelineTrace:
+    """A recorded issue trace for one program on one machine."""
+
+    program: MachineProgram
+    config: MachineConfig
+    events: list[tuple[int, int]] = field(default_factory=list)  # (cycle, pc)
+    truncated: bool = False
+
+    # -- metrics ---------------------------------------------------------------
+
+    def issue_group_sizes(self) -> Counter:
+        """Histogram of instructions issued per (non-empty) cycle."""
+        sizes: Counter = Counter()
+        per_cycle: Counter = Counter(cycle for cycle, _pc in self.events)
+        for _cycle, n in per_cycle.items():
+            sizes[n] += 1
+        return sizes
+
+    def utilization(self) -> float:
+        """Issued instructions / (non-empty cycles x issue width)."""
+        if not self.events:
+            return 0.0
+        cycles = len({c for c, _ in self.events})
+        return len(self.events) / (cycles * self.config.issue_width)
+
+    def dual_issue_pairs(self, first_pc: int, second_pc: int) -> int:
+        """How often *first_pc* and *second_pc* issued in the same cycle."""
+        by_cycle: dict[int, set[int]] = {}
+        for cycle, pc in self.events:
+            by_cycle.setdefault(cycle, set()).add(pc)
+        return sum(1 for pcs in by_cycle.values()
+                   if first_pc in pcs and second_pc in pcs)
+
+    # -- rendering ----------------------------------------------------------------
+
+    def render(self, start: int = 0, count: int = 40) -> str:
+        """Render *count* trace events starting at event *start*.
+
+        ``|`` marks the first instruction of each issue group; the cycle
+        column is relative to the first rendered event.
+        """
+        window = self.events[start: start + count]
+        if not window:
+            return "(empty trace window)"
+        base = window[0][0]
+        lines = []
+        prev_cycle = None
+        for cycle, pc in window:
+            marker = "|" if cycle != prev_cycle else " "
+            prev_cycle = cycle
+            text = format_instr(self.program.instrs[pc])
+            lines.append(f"{marker} c+{cycle - base:4d}  pc{pc:5d}  {text}")
+        if self.truncated and start + count >= len(self.events):
+            lines.append("  ... trace truncated at the record limit ...")
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        sizes = self.issue_group_sizes()
+        total_cycles = len({c for c, _ in self.events})
+        lines = [
+            f"events            {len(self.events)}"
+            + (" (truncated)" if self.truncated else ""),
+            f"non-empty cycles  {total_cycles}",
+            f"slot utilization  {100 * self.utilization():.1f}% "
+            f"of {self.config.issue_width} slots/cycle",
+            "issue-group sizes:",
+        ]
+        for size in sorted(sizes):
+            lines.append(f"  {size} instr(s): {sizes[size]} cycles")
+        return "\n".join(lines)
+
+
+def capture_trace(program: MachineProgram, config: MachineConfig,
+                  limit: int = 200_000) -> PipelineTrace:
+    """Run *program* recording up to *limit* issue events."""
+    trace = PipelineTrace(program, config)
+    events = trace.events
+
+    def hook(cycle: int, pc: int) -> None:
+        if len(events) < limit:
+            events.append((cycle, pc))
+        else:
+            trace.truncated = True
+
+    Simulator(program, config, trace_hook=hook).run()
+    return trace

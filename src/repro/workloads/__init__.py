@@ -1,0 +1,25 @@
+"""The twelve benchmark workloads of the paper's evaluation."""
+
+from repro.workloads.analysis import WorkloadProfile, profile_module, profile_workload
+from repro.workloads.registry import (
+    ALL_BENCHMARKS,
+    FP_BENCHMARKS,
+    INTEGER_BENCHMARKS,
+    WORKLOADS,
+    Workload,
+    build_workload,
+    workload,
+)
+
+__all__ = [
+    "ALL_BENCHMARKS",
+    "FP_BENCHMARKS",
+    "INTEGER_BENCHMARKS",
+    "WORKLOADS",
+    "Workload",
+    "WorkloadProfile",
+    "profile_module",
+    "profile_workload",
+    "build_workload",
+    "workload",
+]

@@ -1,0 +1,102 @@
+"""Workload characterization: dynamic instruction mix and structure.
+
+The paper's benchmark choice spans very different program behaviours
+(scanners, table-driven interpreters, bit manipulation, dense FP loops);
+this module quantifies ours the same way architects characterize suites —
+dynamic operation mix, branch density and bias, memory intensity, and call
+frequency — from a profiling interpretation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.function import Module
+from repro.ir.interp import Interpreter
+from repro.isa.instruction import Instr
+from repro.isa.opcodes import Category, Opcode, spec
+from repro.workloads.registry import workload
+
+
+@dataclass
+class WorkloadProfile:
+    """Dynamic characterization of one benchmark run."""
+
+    name: str
+    kind: str
+    dynamic_instructions: int
+    mix: dict[str, float]          # category name -> fraction
+    branch_fraction: float
+    taken_fraction: float          # of executed conditional branches
+    memory_fraction: float
+    fp_fraction: float
+    calls: int
+
+    def render(self) -> str:
+        lines = [
+            f"{self.name} ({self.kind}): "
+            f"{self.dynamic_instructions} dynamic instructions",
+            f"  branches {100 * self.branch_fraction:5.1f}% "
+            f"(taken {100 * self.taken_fraction:.1f}%)   "
+            f"memory {100 * self.memory_fraction:5.1f}%   "
+            f"fp {100 * self.fp_fraction:5.1f}%   calls {self.calls}",
+        ]
+        top = sorted(self.mix.items(), key=lambda kv: -kv[1])[:5]
+        lines.append("  top ops: " + ", ".join(
+            f"{name} {100 * frac:.1f}%" for name, frac in top))
+        return "\n".join(lines)
+
+
+_FP_CATEGORIES = {Category.FP_ALU, Category.FP_CVT, Category.FP_MUL,
+                  Category.FP_DIV}
+
+
+def profile_module(module: Module, name: str = "module",
+                   kind: str = "?") -> WorkloadProfile:
+    """Characterize *module* by profiling interpretation."""
+    result = Interpreter(module).run()
+    profile = result.profile
+
+    counts: dict[Category, int] = {}
+    branches = taken = mem = fp = 0
+    total = 0
+    for fn in module.functions.values():
+        for block in fn.blocks:
+            weight = profile.block_weight(fn.name, block.name)
+            if weight == 0:
+                continue
+            for instr in block.instrs:
+                cat = instr.category
+                counts[cat] = counts.get(cat, 0) + weight
+                total += weight
+                if instr.is_mem:
+                    mem += weight
+                if cat in _FP_CATEGORIES or instr.op in (Opcode.FLOAD,
+                                                         Opcode.FSTORE,
+                                                         Opcode.LIF):
+                    fp += weight
+            term = block.terminator
+            if term is not None and term.is_cond_branch:
+                t, nt = profile.branch_counts.get(
+                    (fn.name, block.name), (0, 0))
+                branches += t + nt
+                taken += t
+    calls = sum(profile.call_counts.values())
+    mix = {cat.value: count / total for cat, count in counts.items()}
+    return WorkloadProfile(
+        name=name,
+        kind=kind,
+        dynamic_instructions=result.steps,
+        mix=mix,
+        branch_fraction=branches / total if total else 0.0,
+        taken_fraction=taken / branches if branches else 0.0,
+        memory_fraction=mem / total if total else 0.0,
+        fp_fraction=fp / total if total else 0.0,
+        calls=calls,
+    )
+
+
+def profile_workload(name: str, scale: int = 1) -> WorkloadProfile:
+    """Characterize one registered benchmark."""
+    w = workload(name)
+    return profile_module(w.module(scale), name=w.name, kind=w.kind)

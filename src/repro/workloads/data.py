@@ -1,0 +1,49 @@
+"""Deterministic synthetic input generation for the benchmark kernels.
+
+The paper evaluates nine Unix/SPEC integer programs and three SPEC
+floating-point programs on their real inputs.  We have neither the programs
+nor the inputs, so every kernel here consumes *seeded* synthetic data from
+the small linear congruential generator below; runs are bit-reproducible
+across machines and Python versions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+_A = 1103515245
+_C = 12345
+_M = 1 << 31
+
+
+def lcg(seed: int) -> Iterator[int]:
+    """An infinite LCG stream of 31-bit non-negative integers."""
+    x = seed & (_M - 1)
+    while True:
+        x = (_A * x + _C) % _M
+        yield x
+
+
+def words(seed: int, n: int, mod: int) -> list[int]:
+    """*n* integers in ``[0, mod)``."""
+    gen = lcg(seed)
+    return [next(gen) % mod for _ in range(n)]
+
+
+def signed_words(seed: int, n: int, bound: int) -> list[int]:
+    """*n* integers in ``[-bound, bound]``."""
+    gen = lcg(seed)
+    return [next(gen) % (2 * bound + 1) - bound for _ in range(n)]
+
+
+def floats(seed: int, n: int, lo: float = 0.0, hi: float = 1.0) -> list[float]:
+    """*n* doubles uniformly spread over ``[lo, hi)``."""
+    gen = lcg(seed)
+    span = hi - lo
+    return [lo + span * (next(gen) / _M) for _ in range(n)]
+
+
+def text(seed: int, n: int, alphabet: str) -> list[int]:
+    """*n* character codes drawn from *alphabet* (as integers)."""
+    gen = lcg(seed)
+    return [ord(alphabet[next(gen) % len(alphabet)]) for _ in range(n)]

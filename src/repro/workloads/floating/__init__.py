@@ -1,0 +1,1 @@
+"""Floating-point benchmark kernels (three, as in the paper's evaluation)."""

@@ -1,0 +1,79 @@
+"""``matrix300`` — dense double-precision matrix multiply.
+
+The SPEC original multiplies 300x300 matrices; this kernel runs the same
+triple loop (with the dot-product innermost, as a counted self-loop the
+unroller and scheduler can overlap) at simulator-friendly scale.
+"""
+
+from __future__ import annotations
+
+from repro.ir import FnBuilder, Module
+from repro.workloads.data import floats
+
+NAME = "matrix300"
+KIND = "fp"
+
+_N = 12
+
+
+def _inputs(scale: int) -> tuple[int, list[float], list[float]]:
+    n = _N * scale
+    a = floats(seed=1515, n=n * n, lo=-1.0, hi=1.0)
+    bm = floats(seed=1616, n=n * n, lo=-1.0, hi=1.0)
+    return n, a, bm
+
+
+def build(scale: int = 1) -> Module:
+    n, a, bm = _inputs(scale)
+    m = Module(NAME)
+    m.add_global("A", n * n, a)
+    m.add_global("B", n * n, bm)
+    m.add_global("C", n * n)
+    m.add_global("checksum", 1)
+
+    b = FnBuilder(m, "main")
+    pa = b.la("A")
+    pb = b.la("B")
+    pc = b.la("C")
+    csum = b.fli(0.0, name="csum")
+    i = b.li(0, name="i")
+
+    b.block("i_loop")
+    row = b.mul(i, n, name="row")
+    j = b.li(0, name="j")
+    b.block("j_loop")
+    acc = b.fli(0.0, name="acc")
+    arow = b.add(pa, row, name="arow")
+    bcol = b.add(pb, j, name="bcol")
+    k = b.li(0, name="k")
+    b.block("k_loop")
+    av = b.fload(b.add(arow, k), 0, name="av")
+    bv = b.fload(b.add(bcol, b.mul(k, n)), 0, name="bv")
+    b.fadd(acc, b.fmul(av, bv), dest=acc)
+    b.add(k, 1, dest=k)
+    b.br("blt", k, n, "k_loop")
+    b.block("j_next")
+    b.fstore(acc, b.add(pc, b.add(row, j)), 0)
+    b.fadd(csum, acc, dest=csum)
+    b.add(j, 1, dest=j)
+    b.br("blt", j, n, "j_loop")
+    b.block("i_next")
+    b.add(i, 1, dest=i)
+    b.br("blt", i, n, "i_loop")
+    b.block("done")
+    b.fstore(csum, b.la("checksum"), 0)
+    b.halt()
+    b.done()
+    return m
+
+
+def reference_checksum(scale: int = 1) -> float:
+    n, a, bm = _inputs(scale)
+    csum = 0.0
+    for i in range(n):
+        for j in range(n):
+            acc = 0.0
+            for k in range(n):
+                acc = acc + a[i * n + k] * bm[k * n + j]
+            csum += acc
+    return csum

@@ -1,0 +1,154 @@
+"""``nasa7`` — the NAS kernel collection (MXM, CHOLSKY, VPENTA slices).
+
+The SPEC original runs seven FP kernels; this reproduction implements three
+representative members at reduced scale — a matrix-multiply (MXM), a
+forward triangular solve (the CHOLSKY inner sweep), and a recurrence sweep
+over banded systems (VPENTA's data access pattern) — and folds their
+results into one checksum, mirroring the original's per-kernel checksums.
+"""
+
+from __future__ import annotations
+
+from repro.ir import FnBuilder, Module
+from repro.workloads.data import floats
+
+NAME = "nasa7"
+KIND = "fp"
+
+_MXM_N = 8
+_TRI_N = 14
+_PENTA_N = 260
+
+
+def _inputs(scale: int):
+    mn = _MXM_N * scale
+    tn = _TRI_N * scale
+    pn = _PENTA_N * scale
+    mxm_a = floats(seed=1818, n=mn * mn, lo=-1.0, hi=1.0)
+    mxm_b = floats(seed=1919, n=mn * mn, lo=-1.0, hi=1.0)
+    # Lower-triangular with dominant diagonal so the solve is stable.
+    tri = floats(seed=2020, n=tn * tn, lo=0.0, hi=0.5)
+    for d in range(tn):
+        tri[d * tn + d] = 2.0 + (d % 3) * 0.5
+    rhs = floats(seed=2121, n=tn, lo=-1.0, hi=1.0)
+    penta = floats(seed=2222, n=pn, lo=0.1, hi=1.1)
+    return mn, tn, pn, mxm_a, mxm_b, tri, rhs, penta
+
+
+def build(scale: int = 1) -> Module:
+    mn, tn, pn, mxm_a, mxm_b, tri, rhs, penta = _inputs(scale)
+    m = Module(NAME)
+    m.add_global("MA", mn * mn, mxm_a)
+    m.add_global("MB", mn * mn, mxm_b)
+    m.add_global("MC", mn * mn)
+    m.add_global("L", tn * tn, tri)
+    m.add_global("rhs", tn, rhs)
+    m.add_global("sol", tn)
+    m.add_global("penta", pn, penta)
+    m.add_global("checksum", 1)
+
+    b = FnBuilder(m, "main")
+
+    # --- MXM ---------------------------------------------------------------
+    pa, pb, pc = b.la("MA"), b.la("MB"), b.la("MC")
+    mxm_sum = b.fli(0.0, name="mxm_sum")
+    i = b.li(0, name="i")
+    b.block("mxm_i")
+    row = b.mul(i, mn, name="row")
+    j = b.li(0, name="j")
+    b.block("mxm_j")
+    acc = b.fli(0.0, name="acc")
+    k = b.li(0, name="k")
+    b.block("mxm_k")
+    av = b.fload(b.add(b.add(pa, row), k), 0, name="av")
+    bv = b.fload(b.add(b.add(pb, j), b.mul(k, mn)), 0, name="bv")
+    b.fadd(acc, b.fmul(av, bv), dest=acc)
+    b.add(k, 1, dest=k)
+    b.br("blt", k, mn, "mxm_k")
+    b.block("mxm_jn")
+    b.fstore(acc, b.add(b.add(pc, row), j), 0)
+    b.fadd(mxm_sum, acc, dest=mxm_sum)
+    b.add(j, 1, dest=j)
+    b.br("blt", j, mn, "mxm_j")
+    b.block("mxm_in")
+    b.add(i, 1, dest=i)
+    b.br("blt", i, mn, "mxm_i")
+
+    # --- CHOLSKY-style forward solve:  L y = rhs ----------------------------
+    b.block("tri_start")
+    pl, pr, ps = b.la("L"), b.la("rhs"), b.la("sol")
+    tri_sum = b.fli(0.0, name="tri_sum")
+    r = b.li(0, name="r")
+    b.block("tri_r")
+    rrow = b.mul(r, tn, name="rrow")
+    dot = b.fli(0.0, name="dot")
+    b.br("beqz", r, "tri_div")
+    b.block("tri_c_init")
+    c = b.li(0, name="c")
+    b.block("tri_c")
+    lv = b.fload(b.add(b.add(pl, rrow), c), 0, name="lv")
+    yv = b.fload(b.add(ps, c), 0, name="yv")
+    b.fadd(dot, b.fmul(lv, yv), dest=dot)
+    b.add(c, 1, dest=c)
+    b.br("blt", c, r, "tri_c")
+    b.block("tri_div")
+    rv = b.fload(b.add(pr, r), 0, name="rv")
+    diag = b.fload(b.add(b.add(pl, rrow), r), 0, name="diag")
+    y = b.fdiv(b.fsub(rv, dot), diag, name="y")
+    b.fstore(y, b.add(ps, r), 0)
+    b.fadd(tri_sum, y, dest=tri_sum)
+    b.add(r, 1, dest=r)
+    b.br("blt", r, tn, "tri_r")
+
+    # --- VPENTA-style recurrence sweep --------------------------------------
+    b.block("penta_start")
+    pp = b.la("penta")
+    alpha = b.fli(0.3, name="alpha")
+    beta = b.fli(0.2, name="beta")
+    carry = b.fli(0.5, name="carry")
+    carry2 = b.fli(0.25, name="carry2")
+    penta_sum = b.fli(0.0, name="penta_sum")
+    t = b.li(2, name="t")
+    b.block("penta_loop")
+    xv = b.fload(b.add(pp, t), 0, name="xv")
+    nv = b.fadd(xv, b.fadd(b.fmul(alpha, carry), b.fmul(beta, carry2)),
+                name="nv")
+    b.fmov(carry, dest=carry2)
+    b.fmov(nv, dest=carry)
+    b.fadd(penta_sum, nv, dest=penta_sum)
+    b.add(t, 1, dest=t)
+    b.br("blt", t, pn, "penta_loop")
+
+    b.block("done")
+    total = b.fadd(b.fadd(mxm_sum, tri_sum), penta_sum, name="total")
+    b.fstore(total, b.la("checksum"), 0)
+    b.halt()
+    b.done()
+    return m
+
+
+def reference_checksum(scale: int = 1) -> float:
+    mn, tn, pn, mxm_a, mxm_b, tri, rhs, penta = _inputs(scale)
+    mxm_sum = 0.0
+    for i in range(mn):
+        for j in range(mn):
+            acc = 0.0
+            for k in range(mn):
+                acc = acc + mxm_a[i * mn + k] * mxm_b[k * mn + j]
+            mxm_sum += acc
+    sol = [0.0] * tn
+    tri_sum = 0.0
+    for r in range(tn):
+        dot = 0.0
+        for c in range(r):
+            dot = dot + tri[r * tn + c] * sol[c]
+        y = (rhs[r] - dot) / tri[r * tn + r]
+        sol[r] = y
+        tri_sum += y
+    carry, carry2 = 0.5, 0.25
+    penta_sum = 0.0
+    for t in range(2, pn):
+        nv = penta[t] + (0.3 * carry + 0.2 * carry2)
+        carry2, carry = carry, nv
+        penta_sum += nv
+    return (mxm_sum + tri_sum) + penta_sum

@@ -1,0 +1,114 @@
+"""``tomcatv`` — vectorized mesh generation: 2D stencil relaxation.
+
+The SPEC original iterates residual/relaxation sweeps over two coordinate
+grids.  This kernel performs Jacobi-style five-point relaxation sweeps over
+an ``n x n`` double grid, tracking the maximum-residual proxy (sum of
+absolute corrections) per sweep, as the original's RXM/RYM reductions do.
+"""
+
+from __future__ import annotations
+
+from repro.ir import FnBuilder, Module
+from repro.workloads.data import floats
+
+NAME = "tomcatv"
+KIND = "fp"
+
+_N = 18
+_SWEEPS = 3
+
+
+def _grid(scale: int) -> tuple[int, list[float]]:
+    n = _N * scale
+    return n, floats(seed=1717, n=n * n, lo=0.0, hi=4.0)
+
+
+def build(scale: int = 1) -> Module:
+    n, grid = _grid(scale)
+    m = Module(NAME)
+    m.add_global("X", n * n, grid)
+    m.add_global("Y", n * n)
+    m.add_global("checksum", 1)
+    m.add_global("residual", 1)
+
+    b = FnBuilder(m, "main")
+    px = b.la("X")
+    py = b.la("Y")
+    quarter = b.fli(0.25, name="quarter")
+    relax = b.fli(0.9, name="relax")
+    res = b.fli(0.0, name="res")
+    sweep = b.li(0, name="sweep")
+
+    b.block("sweep_loop")
+    i = b.li(1, name="i")
+    b.block("i_loop")
+    rowbase = b.mul(i, n, name="rowbase")
+    j = b.li(1, name="j")
+    b.block("j_loop")
+    idx = b.add(rowbase, j, name="idx")
+    center = b.fload(b.add(px, idx), 0, name="center")
+    north = b.fload(b.add(px, b.sub(idx, n)), 0, name="north")
+    south = b.fload(b.add(px, b.add(idx, n)), 0, name="south")
+    west = b.fload(b.add(px, idx), -1, name="west")
+    east = b.fload(b.add(px, idx), 1, name="east")
+    avg = b.fmul(quarter,
+                 b.fadd(b.fadd(north, south), b.fadd(west, east)),
+                 name="avg")
+    corr = b.fmul(relax, b.fsub(avg, center), name="corr")
+    b.fstore(b.fadd(center, corr), b.add(py, idx), 0)
+    # accumulate the squared correction into the residual proxy (branch-free,
+    # keeping the sweep one counted block the unroller can overlap)
+    b.fadd(res, b.fmul(corr, corr), dest=res)
+    b.add(j, 1, dest=j)
+    b.br("blt", j, n - 1, "j_loop")
+    b.block("i_next")
+    b.add(i, 1, dest=i)
+    b.br("blt", i, n - 1, "i_loop")
+    b.block("copy_back")
+    # interior copy Y -> X for the next sweep
+    k = b.li(n + 1, name="k")
+    b.block("copy_loop")
+    v = b.fload(b.add(py, k), 0, name="v")
+    b.fstore(v, b.add(px, k), 0)
+    b.add(k, 1, dest=k)
+    b.br("blt", k, n * (n - 1) - 1, "copy_loop")
+    b.block("sweep_next")
+    b.add(sweep, 1, dest=sweep)
+    b.br("blt", sweep, _SWEEPS, "sweep_loop")
+    b.block("done")
+    b.fstore(res, b.la("residual"), 0)
+    # checksum = residual + sum of a probe row
+    probe = b.fli(0.0, name="probe")
+    t = b.li(0, name="t")
+    rowp = b.add(px, n * (_N // 2), name="rowp")
+    b.block("probe_loop")
+    b.fadd(probe, b.fload(b.add(rowp, t), 0), dest=probe)
+    b.add(t, 1, dest=t)
+    b.br("blt", t, n, "probe_loop")
+    b.block("out")
+    b.fstore(b.fadd(res, probe), b.la("checksum"), 0)
+    b.halt()
+    b.done()
+    return m
+
+
+def reference_checksum(scale: int = 1) -> float:
+    n, grid = _grid(scale)
+    x = list(grid)
+    y = [0.0] * (n * n)
+    res = 0.0
+    for _ in range(_SWEEPS):
+        for i in range(1, n - 1):
+            for j in range(1, n - 1):
+                idx = i * n + j
+                avg = 0.25 * ((x[idx - n] + x[idx + n])
+                              + (x[idx - 1] + x[idx + 1]))
+                corr = 0.9 * (avg - x[idx])
+                y[idx] = x[idx] + corr
+                res = res + corr * corr
+        for k in range(n + 1, n * (n - 1) - 1):
+            x[k] = y[k]
+    probe = 0.0
+    for t in range(n):
+        probe += x[(_N // 2) * n + t]
+    return res + probe

@@ -1,0 +1,1 @@
+"""Integer benchmark kernels (nine, as in the paper's evaluation)."""

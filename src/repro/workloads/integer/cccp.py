@@ -1,0 +1,161 @@
+"""``cccp`` — C preprocessor core: tokenization plus macro-name hashing.
+
+Scans a character stream, classifying identifiers, numbers, and punctuation;
+identifier tokens are hashed and looked up in a small macro table (a handful
+of "defined" names), counting expansions — the hot inner work of GNU cccp.
+"""
+
+from __future__ import annotations
+
+from repro.ir import FnBuilder, Module
+from repro.workloads.data import text
+
+NAME = "cccp"
+KIND = "int"
+
+_ALPHABET = "abcdefg0123 ;#\n"
+_MACROS = ("abc", "fed", "dag", "bee")
+
+
+def _hash_name(chars: list[int]) -> int:
+    h = 0
+    for c in chars:
+        h = (h * 37 + c) & 0xFFFF
+    return h
+
+
+def _input(scale: int) -> list[int]:
+    buf = text(seed=505, n=1300 * scale, alphabet=_ALPHABET)
+    # Plant macro names so lookups hit.
+    pos = 3
+    for k, name in enumerate(_MACROS * (20 * scale)):
+        pos += 29 + k % 7
+        if pos + len(name) + 1 >= len(buf):
+            break
+        buf[pos - 1] = ord(" ")
+        for j, ch in enumerate(name):
+            buf[pos + j] = ord(ch)
+        buf[pos + len(name)] = ord(" ")
+    return buf
+
+
+def build(scale: int = 1) -> Module:
+    buf = _input(scale)
+    n = len(buf)
+    m = Module(NAME)
+    m.add_global("src", n, buf)
+    m.add_global("macros", len(_MACROS),
+                 [_hash_name([ord(c) for c in name]) for name in _MACROS])
+    m.add_global("checksum", 1)
+    m.add_global("counts", 4)  # idents, numbers, punct, expansions
+
+    # Macro lookup is a real function call, as in GNU cccp (where lookup()
+    # is called per identifier): the call sites keep scanner state live
+    # across calls, exercising the caller-save path of the compiler.
+    b = FnBuilder(m, "macro_lookup", params=[("i", "h")], ret="i")
+    (hq,) = b.params
+    pm = b.la("macros")
+    j = b.li(0, name="j")
+    b.block("mac_loop")
+    mh = b.load(b.add(pm, j), 0, name="mh")
+    b.br("beq", mh, hq, "mac_hit")
+    b.block("mac_next")
+    b.add(j, 1, dest=j)
+    b.br("blt", j, len(_MACROS), "mac_loop")
+    b.block("mac_miss")
+    b.ret(0)
+    b.block("mac_hit")
+    b.ret(1)
+    b.done()
+
+    b = FnBuilder(m, "main")
+    psrc = b.la("src")
+    idents = b.li(0, name="idents")
+    numbers = b.li(0, name="numbers")
+    punct = b.li(0, name="punct")
+    expans = b.li(0, name="expans")
+    i = b.li(0, name="i")
+
+    b.block("scan")
+    ch = b.load(b.add(psrc, i), 0, name="ch")
+    is_lower = b.and_(b.cmpge(ch, ord("a")), b.cmple(ch, ord("g")),
+                      name="is_lower")
+    b.br("bnez", is_lower, "ident")
+    b.block("notident")
+    is_digit = b.and_(b.cmpge(ch, ord("0")), b.cmple(ch, ord("9")),
+                      name="is_digit")
+    b.br("bnez", is_digit, "number")
+    b.block("notnumber")
+    is_ws = b.or_(b.cmpeq(ch, ord(" ")), b.cmpeq(ch, ord("\n")),
+                  name="is_ws")
+    b.br("bnez", is_ws, "advance")
+    b.block("punct_blk")
+    b.add(punct, 1, dest=punct)
+    b.jmp("advance")
+
+    b.block("ident")
+    b.add(idents, 1, dest=idents)
+    h = b.li(0, name="h")
+    b.block("ident_scan")
+    c2 = b.load(b.add(psrc, i), 0, name="c2")
+    b.and_(b.add(b.mul(h, 37), c2), 0xFFFF, dest=h)
+    b.add(i, 1, dest=i)
+    b.br("bge", i, n, "ident_done")
+    b.block("ident_more")
+    c3 = b.load(b.add(psrc, i), 0, name="c3")
+    again = b.and_(b.cmpge(c3, ord("a")), b.cmple(c3, ord("g")),
+                   name="again")
+    b.br("bnez", again, "ident_scan")
+    b.block("ident_done")
+    hit = b.call("macro_lookup", [h], ret="i")
+    b.add(expans, hit, dest=expans)
+    b.jmp("scan_cont")
+
+    b.block("number")
+    b.add(numbers, 1, dest=numbers)
+    b.jmp("advance")
+
+    b.block("advance")
+    b.add(i, 1, dest=i)
+    b.block("scan_cont")
+    b.br("blt", i, n, "scan")
+    b.block("done")
+    pc = b.la("counts")
+    b.store(idents, pc, 0)
+    b.store(numbers, pc, 1)
+    b.store(punct, pc, 2)
+    b.store(expans, pc, 3)
+    total = b.add(b.mul(idents, 7), b.mul(numbers, 11), name="total")
+    b.add(total, b.mul(punct, 13), dest=total)
+    b.add(total, b.mul(expans, 1009), dest=total)
+    b.store(total, b.la("checksum"), 0)
+    b.halt()
+    b.done()
+    return m
+
+
+def reference_checksum(scale: int = 1) -> int:
+    buf = _input(scale)
+    n = len(buf)
+    macs = [_hash_name([ord(c) for c in name]) for name in _MACROS]
+    idents = numbers = punct = expans = 0
+    i = 0
+    while i < n:
+        ch = buf[i]
+        if ord("a") <= ch <= ord("g"):
+            idents += 1
+            h = 0
+            while True:
+                h = (h * 37 + buf[i]) & 0xFFFF
+                i += 1
+                if i >= n or not (ord("a") <= buf[i] <= ord("g")):
+                    break
+            if h in macs:
+                expans += 1
+            continue
+        if ord("0") <= ch <= ord("9"):
+            numbers += 1
+        elif ch not in (ord(" "), ord("\n")):
+            punct += 1
+        i += 1
+    return idents * 7 + numbers * 11 + punct * 13 + expans * 1009

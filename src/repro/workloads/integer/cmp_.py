@@ -1,0 +1,80 @@
+"""``cmp`` — byte-stream comparison, modeled on the Unix ``cmp`` utility.
+
+Compares two buffers word by word, recording the number of differing
+positions, the position of the first difference, and a rolling signature.
+The loop body is written fully if-converted (comparison results folded in
+arithmetically), the shape an ILP compiler's predication/superblock pass
+produces — so the whole scan is one counted block the unroller and
+scheduler can overlap.
+"""
+
+from __future__ import annotations
+
+from repro.ir import FnBuilder, Module
+from repro.workloads.data import words
+
+NAME = "cmp"
+KIND = "int"
+
+
+def _inputs(scale: int) -> tuple[list[int], list[int]]:
+    n = 900 * scale
+    a = words(seed=101, n=n, mod=256)
+    bdata = list(a)
+    # Perturb ~1/16 of the positions so differences are sparse but real.
+    for pos in words(seed=202, n=n // 16, mod=n):
+        bdata[pos] = (bdata[pos] + 1 + pos) % 256
+    return a, bdata
+
+
+def build(scale: int = 1) -> Module:
+    a, bdata = _inputs(scale)
+    n = len(a)
+    m = Module(NAME)
+    m.add_global("buf_a", n, a)
+    m.add_global("buf_b", n, bdata)
+    m.add_global("checksum", 1)
+    m.add_global("ndiff", 1)
+    m.add_global("first_diff", 1)
+
+    b = FnBuilder(m, "main")
+    pa = b.la("buf_a")
+    pb = b.la("buf_b")
+    ndiff = b.li(0, name="ndiff")
+    first = b.li(-1, name="first")
+    sig = b.li(0, name="sig")
+    i = b.li(0, name="i")
+    b.block("loop")
+    va = b.load(b.add(pa, i), 0, name="va")
+    vb = b.load(b.add(pb, i), 0, name="vb")
+    d = b.cmpne(va, vb, name="d")
+    b.add(ndiff, d, dest=ndiff)
+    delta = b.sub(va, vb, name="delta")
+    b.xor(sig, b.add(b.mul(sig, 33), delta), dest=sig)
+    b.and_(sig, 0xFFFFFF, dest=sig)
+    # first-difference update, if-converted:
+    take = b.and_(d, b.cmplt(first, 0), name="take")
+    adj = b.mul(b.sub(i, first), take, name="adj")
+    b.add(first, adj, dest=first)
+    b.add(i, 1, dest=i)
+    b.br("blt", i, n, "loop")
+    b.block("done")
+    b.store(ndiff, b.la("ndiff"), 0)
+    b.store(first, b.la("first_diff"), 0)
+    total = b.add(b.mul(ndiff, 131), first, name="total")
+    b.store(b.xor(total, sig), b.la("checksum"), 0)
+    b.halt()
+    b.done()
+    return m
+
+
+def reference_checksum(scale: int = 1) -> int:
+    a, bdata = _inputs(scale)
+    ndiff, first, sig = 0, -1, 0
+    for i, (va, vb) in enumerate(zip(a, bdata)):
+        d = int(va != vb)
+        ndiff += d
+        sig = (sig ^ (sig * 33 + (va - vb))) & 0xFFFFFF
+        if d and first < 0:
+            first = i
+    return (ndiff * 131 + first) ^ sig

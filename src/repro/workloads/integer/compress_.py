@@ -1,0 +1,123 @@
+"""``compress`` — LZW compression, modeled on the SPEC ``compress`` core.
+
+A real LZW coder: the string table is an open-addressing hash table in
+simulated memory (linear probing), codes are emitted into a rolling
+signature, and the table stops growing at a fixed capacity, exactly like the
+block-compress behaviour of the original at small scale.
+"""
+
+from __future__ import annotations
+
+from repro.ir import FnBuilder, Module
+from repro.workloads.data import words
+
+NAME = "compress"
+KIND = "int"
+
+_ALPHA = 16          # alphabet size: codes 0..15 are literals
+_HASH = 1024         # hash table slots (power of two)
+_MAXCODE = 256       # dictionary capacity
+
+
+def _input(scale: int) -> list[int]:
+    # Concatenate a few repeated sections so LZW finds real structure.
+    base = words(seed=404, n=220 * scale, mod=_ALPHA)
+    return base + base[: 110 * scale] + base[55 * scale: 165 * scale]
+
+
+def build(scale: int = 1) -> Module:
+    data = _input(scale)
+    n = len(data)
+    m = Module(NAME)
+    m.add_global("input", n, data)
+    m.add_global("hkeys", _HASH)
+    m.add_global("hvals", _HASH)
+    m.add_global("checksum", 1)
+    m.add_global("ncodes", 1)
+
+    b = FnBuilder(m, "main")
+    pin = b.la("input")
+    pkeys = b.la("hkeys")
+    pvals = b.la("hvals")
+    sig = b.li(0, name="sig")
+    nout = b.li(0, name="nout")
+    next_code = b.li(_ALPHA, name="next_code")
+    w = b.load(pin, 0, name="w")
+    i = b.li(1, name="i")
+
+    b.block("outer")
+    s = b.load(b.add(pin, i), 0, name="s")
+    key = b.add(b.mul(b.add(w, 1), 256), s, name="key")
+    h = b.and_(b.mul(key, 31), _HASH - 1, name="h")
+
+    b.block("probe")
+    slot = b.add(pkeys, h, name="slot")
+    k = b.load(slot, 0, name="k")
+    b.br("beq", k, key, "hit")
+    b.block("probe_miss")
+    b.br("beqz", k, "empty")
+    b.block("probe_next")
+    b.add(h, 1, dest=h)
+    b.and_(h, _HASH - 1, dest=h)
+    b.jmp("probe")
+
+    b.block("hit")
+    b.load(b.add(pvals, h), 0, dest=w)
+    b.jmp("advance")
+
+    b.block("empty")
+    # Emit w, then insert (w, s) -> next_code if the table has room.
+    b.add(b.mul(sig, 17), w, dest=sig)
+    b.and_(sig, 0xFFFFFF, dest=sig)
+    b.add(nout, 1, dest=nout)
+    b.br("bge", next_code, _MAXCODE, "no_insert")
+    b.block("insert")
+    b.store(key, b.add(pkeys, h), 0)
+    b.store(next_code, b.add(pvals, h), 0)
+    b.add(next_code, 1, dest=next_code)
+    b.jmp("no_insert")
+    b.block("no_insert")
+    b.move(s, dest=w)
+    b.jmp("advance")
+
+    b.block("advance")
+    b.add(i, 1, dest=i)
+    b.br("blt", i, n, "outer")
+    b.block("flush")
+    b.add(b.mul(sig, 17), w, dest=sig)
+    b.and_(sig, 0xFFFFFF, dest=sig)
+    b.add(nout, 1, dest=nout)
+    b.store(nout, b.la("ncodes"), 0)
+    b.store(b.add(b.mul(nout, 0x10000), sig), b.la("checksum"), 0)
+    b.halt()
+    b.done()
+    return m
+
+
+def reference_checksum(scale: int = 1) -> int:
+    data = _input(scale)
+    keys = [0] * _HASH
+    vals = [0] * _HASH
+    sig = nout = 0
+    next_code = _ALPHA
+    w = data[0]
+    for s in data[1:]:
+        key = (w + 1) * 256 + s
+        h = (key * 31) & (_HASH - 1)
+        while True:
+            if keys[h] == key:
+                w = vals[h]
+                break
+            if keys[h] == 0:
+                sig = (sig * 17 + w) & 0xFFFFFF
+                nout += 1
+                if next_code < _MAXCODE:
+                    keys[h] = key
+                    vals[h] = next_code
+                    next_code += 1
+                w = s
+                break
+            h = (h + 1) & (_HASH - 1)
+    sig = (sig * 17 + w) & 0xFFFFFF
+    nout += 1
+    return nout * 0x10000 + sig

@@ -1,0 +1,146 @@
+"""``eqn`` — equation-typesetting core: RPN expression evaluation.
+
+``eqn`` spends its time walking parsed equation boxes and combining size
+and position values; this kernel drives an explicit evaluation stack in
+simulated memory over a deterministic RPN token stream (push / add / sub /
+mul / dup), accumulating each expression result into a signature.
+"""
+
+from __future__ import annotations
+
+from repro.ir import FnBuilder, Module
+from repro.workloads.data import words
+
+NAME = "eqn"
+KIND = "int"
+
+_OP_PUSH, _OP_ADD, _OP_SUB, _OP_MUL, _OP_DUP, _OP_END = range(6)
+
+
+def _tokens(scale: int) -> list[int]:
+    """Token stream: pairs of (opcode, operand); END flushes an expression."""
+    stream: list[int] = []
+    ops = words(seed=606, n=700 * scale, mod=10)
+    vals = words(seed=707, n=700 * scale, mod=97)
+    depth = 0
+    for op, val in zip(ops, vals):
+        if depth < 2 or op < 4:
+            stream += [_OP_PUSH, val]
+            depth += 1
+        elif op < 6:
+            stream += [_OP_ADD, 0]
+            depth -= 1
+        elif op < 7:
+            stream += [_OP_SUB, 0]
+            depth -= 1
+        elif op < 8:
+            stream += [_OP_MUL, 0]
+            depth -= 1
+        elif op < 9 and depth < 30:
+            stream += [_OP_DUP, 0]
+            depth += 1
+        else:
+            stream += [_OP_END, 0]
+            depth = 0
+    stream += [_OP_END, 0]
+    return stream
+
+
+def build(scale: int = 1) -> Module:
+    stream = _tokens(scale)
+    n = len(stream)
+    m = Module(NAME)
+    m.add_global("tokens", n, stream)
+    m.add_global("stack", 64)
+    m.add_global("checksum", 1)
+
+    b = FnBuilder(m, "main")
+    ptok = b.la("tokens")
+    pstk = b.la("stack")
+    sig = b.li(0, name="sig")
+    sp = b.li(0, name="sp")  # stack depth
+    i = b.li(0, name="i")
+
+    b.block("loop")
+    op = b.load(b.add(ptok, i), 0, name="op")
+    arg = b.load(b.add(ptok, i), 1, name="arg")
+    b.br("beq", op, _OP_PUSH, "push")
+    b.block("d1")
+    b.br("beq", op, _OP_ADD, "add_op")
+    b.block("d2")
+    b.br("beq", op, _OP_SUB, "sub_op")
+    b.block("d3")
+    b.br("beq", op, _OP_MUL, "mul_op")
+    b.block("d4")
+    b.br("beq", op, _OP_DUP, "dup_op")
+    b.block("end_op")  # flush: pop everything into the signature
+    b.br("beqz", sp, "advance")
+    b.block("flush_loop")
+    b.sub(sp, 1, dest=sp)
+    v = b.load(b.add(pstk, sp), 0, name="v")
+    b.and_(b.add(b.mul(sig, 5), v), 0xFFFFFF, dest=sig)
+    b.br("bnez", sp, "flush_loop")
+    b.jmp("advance")
+
+    b.block("push")
+    b.store(arg, b.add(pstk, sp), 0)
+    b.add(sp, 1, dest=sp)
+    b.jmp("advance")
+
+    def binop(label, emit):
+        b.block(label)
+        b.br("ble", sp, 1, "advance")
+        b.block(label + "_go")
+        b.sub(sp, 1, dest=sp)
+        rhs = b.load(b.add(pstk, sp), 0, name=label + "_rhs")
+        lhs = b.load(b.add(pstk, sp), -1, name=label + "_lhs")
+        res = emit(lhs, rhs)
+        b.store(res, b.add(pstk, sp), -1)
+        b.jmp("advance")
+
+    binop("add_op", lambda l, r: b.add(l, r))
+    binop("sub_op", lambda l, r: b.sub(l, r))
+    binop("mul_op", lambda l, r: b.and_(b.mul(l, r), 0xFFFF))
+
+    b.block("dup_op")
+    b.br("beqz", sp, "advance")
+    b.block("dup_go")
+    top = b.load(b.add(pstk, sp), -1, name="top")
+    b.store(top, b.add(pstk, sp), 0)
+    b.add(sp, 1, dest=sp)
+    b.jmp("advance")
+
+    b.block("advance")
+    b.add(i, 2, dest=i)
+    b.br("blt", i, n, "loop")
+    b.block("done")
+    b.store(sig, b.la("checksum"), 0)
+    b.halt()
+    b.done()
+    return m
+
+
+def reference_checksum(scale: int = 1) -> int:
+    stream = _tokens(scale)
+    stack: list[int] = []
+    sig = 0
+    for i in range(0, len(stream), 2):
+        op, arg = stream[i], stream[i + 1]
+        if op == _OP_PUSH:
+            stack.append(arg)
+        elif op in (_OP_ADD, _OP_SUB, _OP_MUL):
+            if len(stack) > 1:
+                r, l = stack.pop(), stack.pop()
+                if op == _OP_ADD:
+                    stack.append(l + r)
+                elif op == _OP_SUB:
+                    stack.append(l - r)
+                else:
+                    stack.append((l * r) & 0xFFFF)
+        elif op == _OP_DUP:
+            if stack:
+                stack.append(stack[-1])
+        else:  # END
+            while stack:
+                sig = (sig * 5 + stack.pop()) & 0xFFFFFF
+    return sig

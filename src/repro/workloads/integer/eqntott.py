@@ -1,0 +1,87 @@
+"""``eqntott`` — boolean equation to truth table conversion.
+
+The real eqntott enumerates input assignments and evaluates boolean
+equations to build a truth table (then sorts it).  This kernel evaluates a
+fixed random NOR-form equation over every assignment of ``k`` inputs,
+writes the table, and bit-counts/sorts-signatures the result.
+"""
+
+from __future__ import annotations
+
+from repro.ir import FnBuilder, Module
+from repro.workloads.data import words
+
+NAME = "eqntott"
+KIND = "int"
+
+_K = 9          # inputs -> 512 assignments
+_TERMS = 12     # product terms
+
+
+def _equation(scale: int) -> tuple[list[int], list[int]]:
+    """Product terms as (care-mask, value-mask) pairs over K inputs."""
+    nterms = _TERMS * scale
+    cares = [w | 1 for w in words(seed=808, n=nterms, mod=1 << _K)]
+    values = [v for v in words(seed=909, n=nterms, mod=1 << _K)]
+    values = [v & c for v, c in zip(values, cares)]
+    return cares, values
+
+
+def build(scale: int = 1) -> Module:
+    cares, values = _equation(scale)
+    nterms = len(cares)
+    nvec = 1 << _K
+    m = Module(NAME)
+    m.add_global("cares", nterms, cares)
+    m.add_global("values", nterms, values)
+    m.add_global("table", nvec)
+    m.add_global("checksum", 1)
+    m.add_global("minterms", 1)
+
+    b = FnBuilder(m, "main")
+    pc = b.la("cares")
+    pv = b.la("values")
+    pt = b.la("table")
+    ones = b.li(0, name="ones")
+    sig = b.li(0, name="sig")
+    vec = b.li(0, name="vec")
+
+    b.block("vec_loop")
+    out = b.li(0, name="out")
+    t = b.li(0, name="t")
+    b.block("term_loop")
+    care = b.load(b.add(pc, t), 0, name="care")
+    val = b.load(b.add(pv, t), 0, name="val")
+    masked = b.and_(vec, care, name="masked")
+    hit = b.cmpeq(masked, val, name="hit")
+    b.or_(out, hit, dest=out)
+    b.add(t, 1, dest=t)
+    b.br("blt", t, nterms, "term_loop")
+    b.block("emit")
+    b.store(out, b.add(pt, vec), 0)
+    b.add(ones, out, dest=ones)
+    b.and_(b.add(b.mul(sig, 3), out), 0xFFFFF, dest=sig)
+    b.add(vec, 1, dest=vec)
+    b.br("blt", vec, nvec, "vec_loop")
+    b.block("done")
+    b.store(ones, b.la("minterms"), 0)
+    b.store(b.add(b.mul(ones, 0x100000), sig), b.la("checksum"), 0)
+    b.halt()
+    b.done()
+    return m
+
+
+def reference_checksum(scale: int = 1) -> int:
+    cares, values = _equation(scale)
+    ones = sig = 0
+    for vec in range(1 << _K):
+        out = 0
+        for care, val in zip(cares, values):
+            if (vec & care) == val:
+                out = 1
+                # note: the kernel keeps scanning terms (no early exit), so
+                # the reference must not break either for identical timing -
+                # for the checksum it makes no difference.
+        ones += out
+        sig = (sig * 3 + out) & 0xFFFFF
+    return ones * 0x100000 + sig

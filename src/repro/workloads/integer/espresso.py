@@ -1,0 +1,153 @@
+"""``espresso`` — two-level logic minimization: cube containment sweep.
+
+Espresso's hot loops compare cubes of a cover pairwise (containment,
+distance-1 merging).  Cubes here are two-bit-per-variable bitmasks; the
+kernel removes single-cube-contained cubes and counts mergeable pairs,
+which is the EXPAND/IRREDUNDANT inner work at miniature scale.
+"""
+
+from __future__ import annotations
+
+from repro.ir import FnBuilder, Module
+from repro.workloads.data import words
+
+NAME = "espresso"
+KIND = "int"
+
+_VARS = 10  # two bits per variable -> 20-bit cubes
+
+
+def _cover(scale: int) -> list[int]:
+    n = 56 * scale
+    raw = words(seed=1010, n=2 * n, mod=1 << _VARS)
+    cubes = []
+    for i in range(n):
+        lo, hi = raw[2 * i], raw[2 * i + 1]
+        cube = 0
+        for v in range(_VARS):
+            bit0 = (lo >> v) & 1
+            bit1 = (hi >> v) & 1
+            pair = (bit0 << 1) | bit1 or 3  # avoid the empty literal 00
+            cube |= pair << (2 * v)
+        cubes.append(cube)
+    return cubes
+
+
+def build(scale: int = 1) -> Module:
+    cubes = _cover(scale)
+    n = len(cubes)
+    m = Module(NAME)
+    m.add_global("cubes", n, cubes)
+    m.add_global("alive", n, [1] * n)
+    m.add_global("checksum", 1)
+    m.add_global("kept", 1)
+
+    b = FnBuilder(m, "main")
+    pcube = b.la("cubes")
+    palive = b.la("alive")
+    merges = b.li(0, name="merges")
+    i = b.li(0, name="i")
+
+    b.block("outer")
+    ai = b.load(b.add(palive, i), 0, name="ai")
+    b.br("beqz", ai, "outer_next")
+    b.block("outer_live")
+    ci = b.load(b.add(pcube, i), 0, name="ci")
+    j = b.li(0, name="j")
+    b.block("inner")
+    b.br("beq", i, j, "inner_next")
+    b.block("distinct")
+    aj = b.load(b.add(palive, j), 0, name="aj")
+    b.br("beqz", aj, "inner_next")
+    b.block("both_live")
+    cj = b.load(b.add(pcube, j), 0, name="cj")
+    # cube_i contained in cube_j  <=>  ci & cj == ci (j's literals cover i's)
+    inter = b.and_(ci, cj, name="inter")
+    b.br("bne", inter, ci, "try_merge")
+    b.block("contained")
+    # Tie-break: equal cubes keep the lower index.
+    b.br("bne", ci, cj, "kill_i")
+    b.block("equal_cubes")
+    b.br("blt", j, i, "kill_i")
+    b.block("keep_i")
+    b.jmp("inner_next")
+    b.block("kill_i")
+    zero = b.li(0, name="zero")
+    b.store(zero, b.add(palive, i), 0)
+    b.jmp("outer_next")
+    b.block("try_merge")
+    # Distance-1 pairs (differ in exactly one variable's literal) merge.
+    diff = b.xor(ci, cj, name="diff")
+    lsb = b.and_(diff, b.sub(0, diff), name="lsb")
+    evenmask = b.li(0x55555, name="evenmask")
+    lowbit = b.and_(lsb, evenmask, name="lowbit")
+    aligned = b.or_(lowbit, b.srl(b.and_(lsb, b.sll(evenmask, 1)), 1),
+                    name="aligned")
+    varmask = b.or_(aligned, b.sll(aligned, 1), name="varmask")
+    b.br("bne", diff, b.and_(diff, varmask), "inner_next")
+    b.block("merge_found")
+    b.add(merges, 1, dest=merges)
+    b.jmp("inner_next")
+
+    b.block("inner_next")
+    b.add(j, 1, dest=j)
+    b.br("blt", j, n, "inner")
+    b.block("outer_next")
+    b.add(i, 1, dest=i)
+    b.br("blt", i, n, "outer")
+
+    b.block("count")
+    kept = b.li(0, name="kept")
+    sig = b.li(0, name="sig")
+    k = b.li(0, name="k")
+    b.block("count_loop")
+    ak = b.load(b.add(palive, k), 0, name="ak")
+    b.add(kept, ak, dest=kept)
+    ck = b.load(b.add(pcube, k), 0, name="ck")
+    live_cube = b.mul(ak, ck, name="live_cube")
+    b.and_(b.add(b.mul(sig, 9), live_cube), 0xFFFFFF, dest=sig)
+    b.add(k, 1, dest=k)
+    b.br("blt", k, n, "count_loop")
+    b.block("done")
+    b.store(kept, b.la("kept"), 0)
+    total = b.add(b.mul(kept, 0x1000000), sig, name="total")
+    b.store(b.add(total, b.mul(merges, 31)), b.la("checksum"), 0)
+    b.halt()
+    b.done()
+    return m
+
+
+def reference_checksum(scale: int = 1) -> int:
+    cubes = _cover(scale)
+    n = len(cubes)
+    alive = [1] * n
+    merges = 0
+    i = 0
+    while i < n:
+        if alive[i]:
+            ci = cubes[i]
+            killed = False
+            for j in range(n):
+                if j == i or not alive[j]:
+                    continue
+                cj = cubes[j]
+                if ci & cj == ci:
+                    if ci != cj or j < i:
+                        alive[i] = 0
+                        killed = True
+                        break
+                    continue
+                diff = ci ^ cj
+                lsb = diff & -diff
+                even = 0x55555
+                lowbit = (lsb & even) | ((lsb & (even << 1)) >> 1)
+                varmask = (lowbit | (lowbit << 1))
+                if diff == diff & varmask:
+                    merges += 1
+            del killed
+        i += 1
+    kept = sum(alive)
+    sig = 0
+    for ak, ck in zip(alive, cubes):
+        sig = (sig * 9 + ak * ck) & 0xFFFFFF
+    return kept * 0x1000000 + sig + merges * 31

@@ -1,0 +1,97 @@
+"""``grep`` — fixed-pattern text scan, modeled on the Unix ``grep`` core.
+
+Scans a character buffer for a fixed pattern, counting matches and the
+lines containing at least one match (newline = 10).
+"""
+
+from __future__ import annotations
+
+from repro.ir import FnBuilder, Module
+from repro.workloads.data import text
+
+NAME = "grep"
+KIND = "int"
+
+_ALPHABET = "abcdefgh \n"
+_PATTERN = "fade"
+
+
+def _input(scale: int) -> list[int]:
+    n = 1400 * scale
+    buf = text(seed=303, n=n, alphabet=_ALPHABET)
+    # Plant the pattern at deterministic spots so matches exist.
+    for k in range(7, n - len(_PATTERN), 97):
+        for j, ch in enumerate(_PATTERN):
+            buf[k + j] = ord(ch)
+    return buf
+
+
+def build(scale: int = 1) -> Module:
+    buf = _input(scale)
+    n = len(buf)
+    plen = len(_PATTERN)
+    m = Module(NAME)
+    m.add_global("textbuf", n, buf)
+    m.add_global("pattern", plen, [ord(c) for c in _PATTERN])
+    m.add_global("checksum", 1)
+    m.add_global("nmatch", 1)
+
+    b = FnBuilder(m, "main")
+    ptext = b.la("textbuf")
+    ppat = b.la("pattern")
+    nmatch = b.li(0, name="nmatch")
+    line_hits = b.li(0, name="line_hits")
+    line_has = b.li(0, name="line_has")
+    i = b.li(0, name="i")
+    limit = b.li(n - plen, name="limit")
+
+    b.block("outer")
+    ch = b.load(b.add(ptext, i), 0, name="ch")
+    b.br("bne", ch, 10, "try_match")
+    b.block("newline")
+    b.add(line_hits, line_has, dest=line_hits)
+    b.li(0, dest=line_has)
+    b.jmp("advance")
+
+    b.block("try_match")
+    j = b.li(0, name="j")
+    b.block("inner")
+    tc = b.load(b.add(b.add(ptext, i), j), 0, name="tc")
+    pc = b.load(b.add(ppat, j), 0, name="pc")
+    b.br("bne", tc, pc, "advance")
+    b.block("inner_next")
+    b.add(j, 1, dest=j)
+    b.br("blt", j, plen, "inner")
+    b.block("matched")
+    b.add(nmatch, 1, dest=nmatch)
+    b.li(1, dest=line_has)
+    b.jmp("advance")
+
+    b.block("advance")
+    b.add(i, 1, dest=i)
+    b.br("ble", i, limit, "outer")
+    b.block("done")
+    b.add(line_hits, line_has, dest=line_hits)
+    b.store(nmatch, b.la("nmatch"), 0)
+    b.store(b.add(b.mul(nmatch, 1000), line_hits), b.la("checksum"), 0)
+    b.halt()
+    b.done()
+    return m
+
+
+def reference_checksum(scale: int = 1) -> int:
+    buf = _input(scale)
+    n = len(buf)
+    plen = len(_PATTERN)
+    pat = [ord(c) for c in _PATTERN]
+    nmatch = line_hits = line_has = 0
+    for i in range(0, n - plen + 1):
+        if buf[i] == 10:
+            line_hits += line_has
+            line_has = 0
+            continue
+        if buf[i:i + plen] == pat:
+            nmatch += 1
+            line_has = 1
+    line_hits += line_has
+    return nmatch * 1000 + line_hits

@@ -1,0 +1,223 @@
+"""``yacc`` — LR parser driver: shift/reduce over an expression grammar.
+
+The generated-parser inner loop: an explicit state/value stack in simulated
+memory, driven by action and goto tables for the classic grammar
+
+    E -> E + T | T        T -> T * F | F        F -> n
+
+over a deterministic token stream, accumulating the semantic values.
+"""
+
+from __future__ import annotations
+
+from repro.ir import FnBuilder, Module
+from repro.workloads.data import words
+
+NAME = "yacc"
+KIND = "int"
+
+# Tokens: 0=n 1='+' 2='*' 3=$ ; Nonterminals: E=0 T=1 F=2
+# LR(0)/SLR tables for the grammar above (states 0..11), built by hand.
+# action[state][token]: 0 = error, s>0 = shift to state s-1? We encode:
+#   value = 1 + 2*s        -> shift, goto state s
+#   value = 2 + 2*r        -> reduce by rule r
+#   value = -1             -> accept
+# rules: 0: E->E+T (3)  1: E->T (1)  2: T->T*F (3)  3: T->F (1)  4: F->n (1)
+_SHIFT = lambda s: 1 + 2 * s
+_REDUCE = lambda r: 2 + 2 * r
+_ACCEPT = -1
+
+_ACTION = [
+    # n            +             *             $
+    [_SHIFT(5), 0, 0, 0],                                   # 0
+    [0, _SHIFT(6), 0, _ACCEPT],                             # 1: E .
+    [0, _REDUCE(1), _SHIFT(7), _REDUCE(1)],                 # 2: T .
+    [0, _REDUCE(3), _REDUCE(3), _REDUCE(3)],                # 3: F .
+    [0, 0, 0, 0],                                           # 4 (unused)
+    [0, _REDUCE(4), _REDUCE(4), _REDUCE(4)],                # 5: n .
+    [_SHIFT(5), 0, 0, 0],                                   # 6: E+ .
+    [_SHIFT(5), 0, 0, 0],                                   # 7: T* .
+    [0, _REDUCE(0), _SHIFT(7), _REDUCE(0)],                 # 8: E+T .
+    [0, _REDUCE(2), _REDUCE(2), _REDUCE(2)],                # 9: T*F .
+    [0, 0, 0, 0],                                           # 10 (unused)
+    [0, 0, 0, 0],                                           # 11 (unused)
+]
+# goto[state][nonterminal]
+_GOTO = [
+    [1, 2, 3],
+    [0, 0, 0], [0, 0, 0], [0, 0, 0], [0, 0, 0], [0, 0, 0],
+    [0, 8, 3],
+    [0, 0, 9],
+    [0, 0, 0], [0, 0, 0], [0, 0, 0], [0, 0, 0],
+]
+_RULE_LEN = [3, 1, 3, 1, 1]
+_RULE_LHS = [0, 0, 1, 1, 2]
+_NTOK, _NNT = 4, 3
+
+
+def _tokens(scale: int) -> tuple[list[int], list[int]]:
+    """(token, value) stream forming valid expressions n(+|*)n..., $-separated."""
+    n_exprs = 90 * scale
+    ops = words(seed=1212, n=8 * n_exprs, mod=2)
+    vals = words(seed=1313, n=8 * n_exprs, mod=50)
+    lens = [2 + w % 6 for w in words(seed=1414, n=n_exprs, mod=97)]
+    toks: list[int] = []
+    tvals: list[int] = []
+    vi = oi = 0
+    for ln in lens:
+        for k in range(ln):
+            toks.append(0)
+            tvals.append(vals[vi])
+            vi += 1
+            if k + 1 < ln:
+                toks.append(1 + ops[oi])
+                tvals.append(0)
+                oi += 1
+        toks.append(3)
+        tvals.append(0)
+    return toks, tvals
+
+
+def build(scale: int = 1) -> Module:
+    toks, tvals = _tokens(scale)
+    n = len(toks)
+    m = Module(NAME)
+    m.add_global("toks", n, toks)
+    m.add_global("tvals", n, tvals)
+    m.add_global("action", 12 * _NTOK,
+                 [_ACTION[s][t] for s in range(12) for t in range(_NTOK)])
+    m.add_global("goto_t", 12 * _NNT,
+                 [_GOTO[s][g] for s in range(12) for g in range(_NNT)])
+    m.add_global("rlen", 5, _RULE_LEN)
+    m.add_global("rlhs", 5, _RULE_LHS)
+    m.add_global("sstack", 128)
+    m.add_global("vstack", 128)
+    m.add_global("checksum", 1)
+    m.add_global("reductions", 1)
+
+    # Semantic actions live in a separate function, as yacc-generated
+    # parsers do (the switch in yyparse calls user action code): the parse
+    # state stays live across these calls.
+    b = FnBuilder(m, "semantic",
+                  params=[("i", "rule"), ("i", "lhsv"), ("i", "rhsv")],
+                  ret="i")
+    rule_p, lhsv_p, rhsv_p = b.params
+    b.br("beq", rule_p, 0, "do_add")
+    b.block("do_mul")
+    b.ret(b.and_(b.mul(lhsv_p, rhsv_p), 0xFFFF))
+    b.block("do_add")
+    b.ret(b.add(lhsv_p, rhsv_p))
+    b.done()
+
+    b = FnBuilder(m, "main")
+    ptok = b.la("toks")
+    pval = b.la("tvals")
+    pact = b.la("action")
+    pgoto = b.la("goto_t")
+    prlen = b.la("rlen")
+    prlhs = b.la("rlhs")
+    pss = b.la("sstack")
+    pvs = b.la("vstack")
+    sig = b.li(0, name="sig")
+    nred = b.li(0, name="nred")
+    sp = b.li(1, name="sp")
+    zero = b.li(0, name="zero")
+    b.store(zero, pss, 0)   # state 0 on the stack bottom
+    i = b.li(0, name="i")
+
+    b.block("parse")
+    tok = b.load(b.add(ptok, i), 0, name="tok")
+    b.block("act")   # re-dispatch after reduces without consuming input
+    st = b.load(b.add(pss, b.sub(sp, 1)), 0, name="st")
+    a = b.load(b.add(pact, b.add(b.mul(st, _NTOK), tok)), 0, name="a")
+    b.br("beq", a, _ACCEPT, "accept")
+    b.block("notacc")
+    kind = b.and_(a, 1, name="kind")
+    arg = b.sra(b.sub(a, 1), 1, name="arg")  # shift target or rule, see enc
+    b.br("bnez", kind, "shift")
+
+    b.block("reduce")
+    rule = b.sra(b.sub(a, 2), 1, name="rule")
+    b.add(nred, 1, dest=nred)
+    rl = b.load(b.add(prlen, rule), 0, name="rl")
+    # Semantic action: combine the top rl values (sum, folded with rule id).
+    combined = b.load(b.add(pvs, b.sub(sp, 1)), 0, name="combined")
+    b.br("blt", rl, 3, "apply")
+    b.block("combine3")
+    lhsv = b.load(b.add(pvs, b.sub(sp, 3)), 0, name="lhsv")
+    b.call("semantic", [rule, lhsv, combined], ret="i", dest=combined)
+    b.jmp("apply")
+    b.block("apply")
+    b.sub(sp, rl, dest=sp)
+    lhs = b.load(b.add(prlhs, rule), 0, name="lhs")
+    topst = b.load(b.add(pss, b.sub(sp, 1)), 0, name="topst")
+    g = b.load(b.add(pgoto, b.add(b.mul(topst, _NNT), lhs)), 0, name="g")
+    b.store(g, b.add(pss, sp), 0)
+    b.store(combined, b.add(pvs, sp), 0)
+    b.add(sp, 1, dest=sp)
+    b.jmp("act")
+
+    b.block("shift")
+    tv = b.load(b.add(pval, i), 0, name="tv")
+    b.store(arg, b.add(pss, sp), 0)
+    b.store(tv, b.add(pvs, sp), 0)
+    b.add(sp, 1, dest=sp)
+    b.add(i, 1, dest=i)
+    b.jmp("parse")
+
+    b.block("accept")
+    result = b.load(b.add(pvs, b.sub(sp, 1)), 0, name="result")
+    b.and_(b.add(b.mul(sig, 7), result), 0xFFFFFF, dest=sig)
+    b.li(1, dest=sp)
+    b.store(zero, pss, 0)
+    b.add(i, 1, dest=i)
+    b.br("blt", i, n, "parse")
+    b.block("done")
+    b.store(nred, b.la("reductions"), 0)
+    b.store(b.add(b.mul(nred, 0x1000000), sig), b.la("checksum"), 0)
+    b.halt()
+    b.done()
+    return m
+
+
+def reference_checksum(scale: int = 1) -> int:
+    toks, tvals = _tokens(scale)
+    sig = nred = 0
+    sstack, vstack = [0], [0]
+    i = 0
+    n = len(toks)
+    while i < n:
+        tok = toks[i]
+        a = _ACTION[sstack[-1]][tok]
+        if a == _ACCEPT:
+            result = vstack[-1]
+            sig = (sig * 7 + result) & 0xFFFFFF
+            sstack, vstack = [0], [0]
+            i += 1
+            continue
+        if a & 1:  # shift
+            arg = (a - 1) >> 1
+            sstack.append(arg)
+            vstack.append(tvals[i])
+            i += 1
+        else:      # reduce
+            rule = (a - 2) >> 1
+            nred += 1
+            rl = _RULE_LEN[rule]
+            combined = vstack[-1]
+            if rl >= 3:
+                lhsv = vstack[-3]
+                if rule == 0:
+                    combined = lhsv + combined
+                else:
+                    combined = (lhsv * combined) & 0xFFFF
+            del sstack[len(sstack) - rl:]
+            del vstack[len(vstack) - rl:]
+            g = _GOTO[sstack[-1]][_RULE_LHS[rule]]
+            sstack.append(g)
+            vstack.append(combined)
+    return nred * 0x1000000 + sig
+
+
+# Keep the parser honest at import time: action 0 entries must be
+# unreachable for well-formed input, which reference_checksum exercises.

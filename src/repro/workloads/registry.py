@@ -1,0 +1,73 @@
+"""Registry of the twelve benchmark kernels (paper section 5.3).
+
+Integer: cccp, cmp, compress, eqn, eqntott, espresso, grep, lex, yacc.
+Floating point: matrix300, nasa7, tomcatv.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ConfigError
+from repro.ir.function import Module
+from repro.workloads.floating import matrix300, nasa7, tomcatv
+from repro.workloads.integer import (
+    cccp,
+    cmp_,
+    compress_,
+    eqn,
+    eqntott,
+    espresso,
+    grep,
+    lex,
+    yacc,
+)
+
+_MODULES = [cccp, cmp_, compress_, eqn, eqntott, espresso, grep, lex, yacc,
+            matrix300, nasa7, tomcatv]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One benchmark: a named, seeded, executable IR module factory."""
+
+    name: str
+    kind: str  # "int" or "fp"
+    build: Callable[[int], Module]
+    reference_checksum: Callable[[int], int | float] | None = None
+
+    def module(self, scale: int = 1) -> Module:
+        return self.build(scale)
+
+
+WORKLOADS: dict[str, Workload] = {
+    mod.NAME: Workload(
+        name=mod.NAME,
+        kind=mod.KIND,
+        build=mod.build,
+        reference_checksum=getattr(mod, "reference_checksum", None),
+    )
+    for mod in _MODULES
+}
+
+INTEGER_BENCHMARKS = tuple(sorted(
+    name for name, w in WORKLOADS.items() if w.kind == "int"
+))
+FP_BENCHMARKS = tuple(sorted(
+    name for name, w in WORKLOADS.items() if w.kind == "fp"
+))
+ALL_BENCHMARKS = INTEGER_BENCHMARKS + FP_BENCHMARKS
+
+
+def workload(name: str) -> Workload:
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown benchmark {name!r}; available: {ALL_BENCHMARKS}"
+        ) from None
+
+
+def build_workload(name: str, scale: int = 1) -> Module:
+    return workload(name).module(scale)

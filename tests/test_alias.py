@@ -1,0 +1,146 @@
+"""Tests for the memory-provenance alias analysis."""
+
+from repro.compiler.alias import annotate_memory_aliases, annotate_module
+from repro.ir import FnBuilder, Module
+from repro.isa import Opcode
+
+
+def mem_ops(fn):
+    return [i for _, i in fn.iter_instrs()
+            if i.op in (Opcode.LOAD, Opcode.FLOAD, Opcode.STORE,
+                        Opcode.FSTORE)]
+
+
+class TestProvenance:
+    def test_direct_global_access_tagged(self):
+        m = Module()
+        m.add_global("a", 8)
+        b = FnBuilder(m, "main")
+        base = b.la("a")
+        b.store(b.li(1), base, 3)
+        b.halt()
+        fn = b.done()
+        assert annotate_memory_aliases(fn, m) == 1
+        assert mem_ops(fn)[0].alias == ("global", "a")
+
+    def test_indexed_access_keeps_provenance(self):
+        m = Module()
+        m.add_global("a", 8)
+        b = FnBuilder(m, "main")
+        base = b.la("a")
+        i = b.li(2)
+        j = b.mul(i, 2)              # arithmetic: not an address
+        v = b.load(b.add(base, j), 0)
+        b.store(v, b.sub(base, -1), 0)
+        b.halt()
+        fn = b.done()
+        assert annotate_memory_aliases(fn, m) == 2
+        assert all(op.alias == ("global", "a") for op in mem_ops(fn))
+
+    def test_two_globals_get_distinct_tags(self):
+        m = Module()
+        m.add_global("a", 8)
+        m.add_global("b", 8)
+        b = FnBuilder(m, "main")
+        pa, pb = b.la("a"), b.la("b")
+        b.store(b.load(pa, 0), pb, 0)
+        b.halt()
+        fn = b.done()
+        annotate_memory_aliases(fn, m)
+        load, store = mem_ops(fn)
+        assert load.alias == ("global", "a")
+        assert store.alias == ("global", "b")
+
+    def test_sum_of_two_addresses_is_unknown(self):
+        m = Module()
+        m.add_global("a", 8)
+        m.add_global("b", 8)
+        b = FnBuilder(m, "main")
+        weird = b.add(b.la("a"), b.la("b"))
+        b.store(b.li(0), weird, 0)
+        b.halt()
+        fn = b.done()
+        assert annotate_memory_aliases(fn, m) == 0
+        assert mem_ops(fn)[0].alias is None
+
+    def test_call_result_is_unknown_address(self):
+        m = Module()
+        m.add_global("a", 8)
+        b = FnBuilder(m, "getp", ret="i")
+        b.ret(b.la("a"))
+        b.done()
+        b = FnBuilder(m, "main")
+        p = b.call("getp", ret="i")
+        b.store(b.li(1), p, 0)
+        b.halt()
+        b.done()
+        annotate_module(m)
+        main_ops = mem_ops(m.function("main"))
+        assert main_ops[0].alias is None  # conservative
+
+    def test_join_with_agreeing_provenance(self):
+        m = Module()
+        m.add_global("a", 16)
+        b = FnBuilder(m, "main")
+        base = b.la("a")
+        sel = b.li(1)
+        p = b.add(base, 0, name="p")
+        b.br("bnez", sel, "alt")
+        b.block("keep")
+        b.jmp("use")
+        b.block("alt")
+        b.add(base, 8, dest=p)
+        b.jmp("use")
+        b.block("use")
+        b.store(b.li(5), p, 0)
+        b.halt()
+        fn = b.done()
+        annotate_memory_aliases(fn, m)
+        store = mem_ops(fn)[0]
+        assert store.alias == ("global", "a")
+
+    def test_join_with_conflicting_provenance_degrades(self):
+        m = Module()
+        m.add_global("a", 8)
+        m.add_global("b", 8)
+        bb = FnBuilder(m, "main")
+        sel = bb.li(1)
+        p = bb.la("a")
+        bb.br("bnez", sel, "alt")
+        bb.block("keep")
+        bb.jmp("use")
+        bb.block("alt")
+        bb.la("b", dest=p)
+        bb.jmp("use")
+        bb.block("use")
+        bb.store(bb.li(5), p, 0)
+        bb.halt()
+        fn = bb.done()
+        annotate_memory_aliases(fn, m)
+        assert mem_ops(fn)[0].alias is None
+
+    def test_immediate_base_tagged(self):
+        m = Module()
+        g = m.add_global("a", 8)
+        b = FnBuilder(m, "main")
+        b.store(b.li(1), g.addr, 2)  # literal base address
+        b.halt()
+        fn = b.done()
+        assert annotate_memory_aliases(fn, m) == 1
+
+    def test_loop_carried_pointer_keeps_tag(self):
+        m = Module()
+        m.add_global("a", 64)
+        b = FnBuilder(m, "main")
+        p = b.la("a")
+        i = b.li(0)
+        b.block("loop")
+        b.store(i, p, 0)
+        b.add(p, 1, dest=p)
+        b.add(i, 1, dest=i)
+        b.br("blt", i, 64, "loop")
+        b.block("exit")
+        b.halt()
+        fn = b.done()
+        assert annotate_memory_aliases(fn, m) == 1
+        assert mem_ops(fn)[0].alias == ("global", "a")

@@ -1,0 +1,59 @@
+"""Tests for workload characterization."""
+
+import pytest
+
+from repro.workloads import ALL_BENCHMARKS, profile_workload
+from repro.workloads.analysis import profile_module
+
+from helpers import call_module, fp_module, sum_to_n_module
+
+
+class TestProfileModule:
+    def test_mix_fractions_sum_to_one(self):
+        p = profile_module(sum_to_n_module(20))
+        assert sum(p.mix.values()) == pytest.approx(1.0)
+
+    def test_loop_dominates_dynamic_count(self):
+        p = profile_module(sum_to_n_module(100))
+        assert p.dynamic_instructions > 250
+        assert p.branch_fraction > 0.2
+
+    def test_taken_fraction_of_backward_loop(self):
+        p = profile_module(sum_to_n_module(100))
+        assert p.taken_fraction > 0.9
+
+    def test_calls_counted(self):
+        p = profile_module(call_module())
+        assert p.calls == 1
+
+    def test_fp_fraction(self):
+        p = profile_module(fp_module())
+        assert p.fp_fraction > 0.3
+        assert profile_module(sum_to_n_module(5)).fp_fraction == 0.0
+
+
+class TestBenchmarkCharacter:
+    def test_fp_benchmarks_are_fp_heavy(self):
+        for name in ("matrix300", "tomcatv", "nasa7"):
+            assert profile_workload(name).fp_fraction > 0.25, name
+
+    def test_int_benchmarks_have_no_fp(self):
+        for name in ("cmp", "grep", "yacc"):
+            assert profile_workload(name).fp_fraction == 0.0, name
+
+    def test_call_heavy_kernels(self):
+        assert profile_workload("cccp").calls > 100
+        assert profile_workload("yacc").calls > 100
+
+    def test_render_is_readable(self):
+        text = profile_workload("grep").render()
+        assert "grep" in text and "branches" in text and "top ops" in text
+
+    def test_suite_has_behavioral_diversity(self):
+        """The twelve kernels should span branchy to straight-line and
+        memory-light to memory-heavy, like the paper's suite."""
+        profiles = [profile_workload(n) for n in ALL_BENCHMARKS]
+        branchy = [p.branch_fraction for p in profiles]
+        memory = [p.memory_fraction for p in profiles]
+        assert max(branchy) > 3 * min(branchy)
+        assert max(memory) > 2 * min(memory)

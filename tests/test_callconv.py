@@ -1,0 +1,191 @@
+"""Unit tests for calling-convention lowering and frame management."""
+
+import pytest
+
+from repro.compiler import (
+    FrameLayout,
+    InArg,
+    LocalSlot,
+    OutArg,
+    insert_prologue_epilogue,
+    lower_calls,
+)
+from repro.compiler.callconv import check_no_symbolic_offsets
+from repro.errors import CompileError
+from repro.ir import FnBuilder, Module
+from repro.isa import (
+    FP_RETVAL,
+    Imm,
+    INT_RETVAL,
+    Instr,
+    Opcode,
+    PhysReg,
+    RClass,
+    SP,
+    VReg,
+)
+
+
+class TestFrameLayout:
+    def test_outgoing_args_below_sp(self):
+        frame = FrameLayout(num_params=0)
+        assert frame.resolve(OutArg(0)) == -1
+        assert frame.resolve(OutArg(2)) == -3
+
+    def test_incoming_args_at_frame_top(self):
+        frame = FrameLayout(num_params=2)
+        frame.new_slot()
+        frame.new_slot()
+        # F = 2 locals + 2 params = 4; arg0 at F-1, arg1 at F-2
+        assert frame.size == 4
+        assert frame.resolve(InArg(0)) == 3
+        assert frame.resolve(InArg(1)) == 2
+
+    def test_spill_slots_are_stable(self):
+        frame = FrameLayout(num_params=0)
+        v = VReg(RClass.INT, 3)
+        first = frame.spill_slot(v)
+        assert frame.spill_slot(v) == first
+
+    def test_spilled_param_lives_in_inarg_slot(self):
+        frame = FrameLayout(num_params=1)
+        v = VReg(RClass.INT, 0)
+        frame.assign_param_slot(v, 0)
+        assert frame.spill_slot(v) == InArg(0)
+
+    def test_unknown_slot_rejected(self):
+        frame = FrameLayout(num_params=0)
+        with pytest.raises(CompileError):
+            frame.resolve(LocalSlot(5))
+
+    def test_unresolvable_offset_rejected(self):
+        frame = FrameLayout(num_params=0)
+        with pytest.raises(CompileError):
+            frame.resolve("nonsense")
+
+
+class TestLowerCalls:
+    def _call_fn(self):
+        m = Module()
+        b = FnBuilder(m, "callee", params=[("i", "x"), ("f", "y")], ret="i")
+        b.ret(b.params[0])
+        b.done()
+        b = FnBuilder(m, "main")
+        f = b.fli(2.0)
+        r = b.call("callee", [7, f], ret="i")
+        b.store(r, 100, 0)
+        b.halt()
+        return m, b.done()
+
+    def test_args_become_stack_stores(self):
+        _m, fn = self._call_fn()
+        lower_calls(fn)
+        ops = [i.op for _, i in fn.iter_instrs()]
+        call_at = ops.index(Opcode.CALL)
+        stores = fn.entry.instrs[call_at - 2: call_at]
+        assert stores[0].op is Opcode.STORE
+        assert stores[0].imm == OutArg(0)
+        assert stores[1].op is Opcode.FSTORE
+        assert stores[1].imm == OutArg(1)
+        assert all(s.srcs[1] == SP for s in stores)
+
+    def test_retval_moved_from_convention_register(self):
+        _m, fn = self._call_fn()
+        lower_calls(fn)
+        instrs = fn.entry.instrs
+        call_at = next(i for i, ins in enumerate(instrs)
+                       if ins.op is Opcode.CALL)
+        move = instrs[call_at + 1]
+        assert move.op is Opcode.MOVE
+        assert move.srcs == (INT_RETVAL,)
+
+    def test_ret_value_moved_into_retval_register(self):
+        m, _fn = self._call_fn()
+        callee = m.function("callee")
+        lower_calls(callee)
+        instrs = callee.entry.instrs
+        assert instrs[-2].op is Opcode.MOVE
+        assert instrs[-2].dest == INT_RETVAL
+        assert instrs[-1].op is Opcode.RET
+        assert not instrs[-1].srcs
+
+    def test_fp_return_uses_fp_retval(self):
+        m = Module()
+        b = FnBuilder(m, "f", ret="f")
+        b.ret(b.fli(1.0))
+        fn = b.done()
+        lower_calls(fn)
+        move = fn.entry.instrs[-2]
+        assert move.op is Opcode.FMOV
+        assert move.dest == FP_RETVAL
+
+
+class TestPrologueEpilogue:
+    def _physical_fn(self, with_ret=True):
+        m = Module()
+        b = FnBuilder(m, "f")
+        block = b.fn.new_block("body")
+        block.instrs = [
+            Instr(Opcode.LI, dest=PhysReg(RClass.INT, 7), imm=3),
+            Instr(Opcode.RET) if with_ret else Instr(Opcode.HALT),
+        ]
+        m.add_function(b.fn)
+        return b.fn
+
+    def test_prologue_block_prepended(self):
+        fn = self._physical_fn()
+        frame = FrameLayout(num_params=0)
+        saves = [PhysReg(RClass.INT, 7)]
+        insert_prologue_epilogue(fn, frame, saves, {})
+        assert fn.entry.name == "f.prologue"
+        ops = [i.op for i in fn.entry.instrs]
+        assert ops[0] is Opcode.SUB       # SP adjust
+        assert Opcode.STORE in ops        # callee save
+        assert ops[-1] is Opcode.JMP
+
+    def test_epilogue_before_every_ret(self):
+        fn = self._physical_fn()
+        frame = FrameLayout(num_params=0)
+        insert_prologue_epilogue(fn, frame, [PhysReg(RClass.INT, 7)], {})
+        body = fn.block("body").instrs
+        assert body[-1].op is Opcode.RET
+        assert body[-2].op is Opcode.ADD  # SP restore
+        assert body[-3].op is Opcode.LOAD  # callee-save restore
+
+    def test_entry_function_skips_callee_saves(self):
+        fn = self._physical_fn(with_ret=False)
+        frame = FrameLayout(num_params=0)
+        insert_prologue_epilogue(fn, frame, [PhysReg(RClass.INT, 7)], {},
+                                 is_entry=True)
+        ops = [i.op for _, i in fn.iter_instrs()]
+        assert Opcode.STORE not in ops
+
+    def test_param_loads_inserted(self):
+        m = Module()
+        b = FnBuilder(m, "g", params=[("i", "x")])
+        block = b.fn.new_block("body")
+        block.instrs = [Instr(Opcode.RET)]
+        m.add_function(b.fn)
+        frame = FrameLayout(num_params=1)
+        home = PhysReg(RClass.INT, 9)
+        insert_prologue_epilogue(b.fn, frame, [], {b.fn.params[0]: home})
+        load = next(i for i in b.fn.entry.instrs if i.op is Opcode.LOAD)
+        assert load.dest == home
+        assert isinstance(load.imm, int)  # InArg already resolved
+
+    def test_symbolic_offsets_resolved_everywhere(self):
+        fn = self._physical_fn()
+        fn.block("body").instrs.insert(0, Instr(
+            Opcode.STORE, srcs=(PhysReg(RClass.INT, 7), SP),
+            imm=OutArg(0)))
+        frame = FrameLayout(num_params=0)
+        insert_prologue_epilogue(fn, frame, [], {})
+        check_no_symbolic_offsets(fn)
+
+    def test_check_detects_unresolved(self):
+        fn = self._physical_fn()
+        fn.block("body").instrs.insert(0, Instr(
+            Opcode.STORE, srcs=(PhysReg(RClass.INT, 7), SP),
+            imm=OutArg(0)))
+        with pytest.raises(CompileError):
+            check_no_symbolic_offsets(fn)

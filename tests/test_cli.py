@@ -1,0 +1,103 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_all_benchmarks(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("cccp", "tomcatv", "yacc"):
+            assert name in out
+
+
+class TestRun:
+    def test_run_without_rc(self, capsys):
+        assert main(["run", "cmp", "--issue", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "verification" in out and "OK" in out
+
+    def test_run_with_rc(self, capsys):
+        assert main(["run", "grep", "--rc", "--int-core", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "int RC 8+248" in out
+        assert "OK" in out
+
+    def test_run_unlimited(self, capsys):
+        assert main(["run", "eqn", "--unlimited"]) == 0
+        assert "no RC" in capsys.readouterr().out
+
+    def test_run_fp_benchmark_rc_targets_fp_file(self, capsys):
+        assert main(["run", "matrix300", "--rc", "--fp-core", "16"]) == 0
+        assert "fp RC 16+240" in capsys.readouterr().out
+
+    def test_run_model_option(self, capsys):
+        assert main(["run", "cmp", "--rc", "--model", "1"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "doom"])
+
+
+class TestDisasm:
+    def test_disasm_head(self, capsys):
+        assert main(["disasm", "cmp", "--head", "5"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 5
+        assert out[0].lstrip().startswith("0:")
+
+    def test_disasm_shows_connects_with_rc(self, capsys):
+        assert main(["disasm", "cmp", "--rc", "--int-core", "8"]) == 0
+        assert "connect" in capsys.readouterr().out
+
+
+class TestAsm:
+    def test_assemble_and_run(self, tmp_path, capsys):
+        src = tmp_path / "prog.s"
+        src.write_text("""
+            li r5, 6
+            li r6, 7
+            mul r7, r5, r6
+            store r7, 0(900)
+            halt
+        """)
+        assert main(["asm", str(src), "--dump", "900"]) == 0
+        assert "mem[900] = 42" in capsys.readouterr().out
+
+
+class TestFigures:
+    def test_single_figure_subset(self, capsys):
+        assert main(["figures", "table1"]) == 0
+        assert "Instruction latencies" in capsys.readouterr().out
+
+    def test_figure_with_benchmark_subset(self, capsys):
+        assert main(["figures", "figure7", "--benchmarks", "cmp"]) == 0
+        out = capsys.readouterr().out
+        assert "cmp" in out and "geomean" in out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["figures", "figure99"]) == 2
+
+
+class TestFigureExport:
+    def test_csv_format(self, capsys):
+        assert main(["figures", "table1", "--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0].startswith("benchmark,")
+
+    def test_json_format(self, capsys):
+        import json
+        assert main(["figures", "table1", "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["figure"] == "Table 1"
+
+
+class TestTraceCommand:
+    def test_trace_output(self, capsys):
+        assert main(["trace", "cmp", "--count", "8", "--issue", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "slot utilization" in out
+        assert out.count("|") >= 2

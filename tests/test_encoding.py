@@ -1,0 +1,158 @@
+"""Tests for the 32-bit demonstrator encoding (the paper's premise)."""
+
+import pytest
+
+from repro.compiler import compile_module
+from repro.isa import Imm, Instr, Opcode, PhysReg, RClass, connect_use
+from repro.isa.encoding import (
+    ConstantPool,
+    EncodingError,
+    decode_connect,
+    decode_opcode,
+    encodable_core_size,
+    encode,
+    encode_program,
+)
+from repro.sim import paper_machine
+from repro.workloads import workload
+
+
+def r(n, cls=RClass.INT):
+    return PhysReg(cls, n)
+
+
+def enc(instr, target=None):
+    return encode(instr, ConstantPool(), target)
+
+
+class TestOperandFields:
+    def test_core_registers_encode(self):
+        word = enc(Instr(Opcode.ADD, dest=r(5), srcs=(r(6), r(31))))
+        assert isinstance(word, int) and 0 <= word < (1 << 32)
+
+    def test_extended_register_cannot_be_named(self):
+        """The paper's motivating limitation, verbatim."""
+        with pytest.raises(EncodingError, match="connect"):
+            enc(Instr(Opcode.ADD, dest=r(5), srcs=(r(6), r(32))))
+
+    def test_encodable_core_size(self):
+        assert encodable_core_size() == 32
+
+    def test_fp_class_bit_distinguishes_files(self):
+        a = enc(Instr(Opcode.MOVE, dest=r(5), srcs=(r(6),)))
+        b = enc(Instr(Opcode.FMOV, dest=r(5, RClass.FP),
+                      srcs=(r(6, RClass.FP),)))
+        assert a != b
+
+    def test_virtual_register_rejected(self):
+        from repro.isa import VReg
+        with pytest.raises(EncodingError, match="virtual"):
+            enc(Instr(Opcode.MOVE, dest=VReg(RClass.INT, 0),
+                      srcs=(r(1),)))
+
+
+class TestConnectEncoding:
+    def test_single_connect_reaches_all_256_registers(self):
+        word = enc(connect_use(RClass.INT, 31, 255))
+        decoded = decode_connect(word)
+        assert decoded.connect_updates() == [(RClass.INT, "read", 31, 255)]
+
+    def test_combined_connect_roundtrip(self):
+        instr = Instr(Opcode.CDU, imm=(RClass.FP, 4, 100, 6, 101))
+        decoded = decode_connect(enc(instr))
+        assert decoded.imm == instr.imm
+
+    def test_combined_connect_second_pair_limited_to_127(self):
+        instr = Instr(Opcode.CUU, imm=(RClass.INT, 1, 30, 2, 200))
+        with pytest.raises(EncodingError, match="second-pair"):
+            enc(instr)
+
+    def test_connect_target_beyond_256_rejected(self):
+        with pytest.raises(EncodingError, match="256"):
+            enc(connect_use(RClass.INT, 1, 300))
+
+    def test_decode_connect_rejects_non_connect(self):
+        with pytest.raises(EncodingError):
+            decode_connect(enc(Instr(Opcode.NOP)))
+
+
+class TestImmediatesAndPool:
+    def test_small_li_is_inline(self):
+        pool = ConstantPool()
+        encode(Instr(Opcode.LI, dest=r(5), imm=1234), pool)
+        assert len(pool) == 0
+
+    def test_large_li_goes_to_pool(self):
+        pool = ConstantPool()
+        encode(Instr(Opcode.LI, dest=r(5), imm=1 << 40), pool)
+        assert pool.values == [1 << 40]
+
+    def test_fp_constant_goes_to_pool(self):
+        pool = ConstantPool()
+        encode(Instr(Opcode.LIF, dest=r(4, RClass.FP), imm=2.5), pool)
+        assert pool.values == [2.5]
+
+    def test_pool_interns_duplicates(self):
+        pool = ConstantPool()
+        for _ in range(3):
+            encode(Instr(Opcode.LI, dest=r(5), imm=1 << 40), pool)
+        assert len(pool) == 1
+
+    def test_alu_large_immediate_uses_pool(self):
+        pool = ConstantPool()
+        encode(Instr(Opcode.AND, dest=r(5), srcs=(r(6), Imm(0xFFFFFF))),
+               pool)
+        assert 0xFFFFFF in pool.values
+
+    def test_memory_offset_limit(self):
+        with pytest.raises(EncodingError, match="10-bit"):
+            enc(Instr(Opcode.LOAD, dest=r(5), srcs=(r(6),), imm=5000))
+
+    def test_store_with_constant_value_and_base(self):
+        pool = ConstantPool()
+        encode(Instr(Opcode.STORE, srcs=(Imm(5), Imm(4096)), imm=-1), pool)
+        assert 5 in pool.values and 4096 in pool.values
+
+
+class TestControl:
+    def test_branch_needs_resolved_target(self):
+        instr = Instr(Opcode.BEQ, srcs=(r(5), r(6)), label="x")
+        with pytest.raises(EncodingError, match="unresolved"):
+            enc(instr)
+        word = enc(instr, target=100)
+        assert word & 0xFFF == 100
+
+    def test_branch_immediate_uses_pool(self):
+        pool = ConstantPool()
+        encode(Instr(Opcode.BLT, srcs=(r(5), Imm(897)), label="x"),
+               pool, target=3)
+        assert 897 in pool.values
+
+    def test_hint_bit(self):
+        taken = enc(Instr(Opcode.BNE, srcs=(r(5), r(6)), label="x",
+                          hint_taken=True), target=9)
+        not_taken = enc(Instr(Opcode.BNE, srcs=(r(5), r(6)), label="x",
+                              hint_taken=False), target=9)
+        assert taken != not_taken
+
+    def test_opcode_roundtrip_for_all_opcodes(self):
+        for op in Opcode:
+            word = (list(Opcode).index(op)) << 26
+            assert decode_opcode(word) is op
+
+
+class TestWholeProgram:
+    def test_compiled_rc_program_encodes(self):
+        """A whole compiled with-RC binary fits the 32-bit format when the
+        physical file is 128 registers (combined-connect field limit)."""
+        module = workload("cmp").module()
+        cfg = paper_machine(issue_width=4, int_core=16, fp_core=32,
+                            rc_class=RClass.INT, rc_total=128)
+        out = compile_module(module, cfg)
+        words, pool = encode_program(out.program.instrs,
+                                     out.program.targets)
+        assert len(words) == len(out.program)
+        assert all(0 <= w < (1 << 32) for w in words)
+        # connect opcodes survive the roundtrip
+        for word, instr in zip(words, out.program.instrs):
+            assert decode_opcode(word) is instr.op

@@ -1,0 +1,53 @@
+"""Smoke tests: every example script runs to completion and says what it
+promises.  (The slowest sweep-based examples run with reduced arguments.)"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "golden result" in out
+    assert "connect instructions" in out
+
+
+def test_upward_compatibility():
+    out = run_example("upward_compatibility.py")
+    assert "Legacy binary on RC hardware" in out
+    assert "jsr/rts map reset" in out
+    assert "Traps bypass the map" in out
+    assert "Context switch formats" in out
+
+
+def test_compiler_tour():
+    out = run_example("compiler_tour.py")
+    assert "prepass scheduling" in out
+    assert "connect insertion" in out
+    assert "simulated result" in out
+
+
+def test_rc_models():
+    out = run_example("rc_models.py", "cmp")
+    assert "WRITE_RESET_READ_UPDATE" in out
+    assert "model 5" in out or "READ_RESET" in out
+
+
+@pytest.mark.slow
+def test_register_pressure():
+    out = run_example("register_pressure.py", "grep", "2")
+    assert "unlimited-register speedup" in out
+    assert "core regs" in out

@@ -1,0 +1,150 @@
+"""Tests for the experiment runner, report rendering, and figure plumbing."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments import (
+    ExperimentRunner,
+    FigureResult,
+    Series,
+    ablation_unroll,
+    figure7,
+    geomean,
+    table1,
+)
+from repro.experiments.figures import _config
+from repro.experiments.runner import RunRecord, _config_key
+from repro.isa import RClass
+from repro.sim import paper_machine, unlimited_machine
+
+
+@pytest.fixture()
+def runner(tmp_path):
+    return ExperimentRunner(scale=1, cache_dir=tmp_path / "cache")
+
+
+class TestReport:
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geomean([]) == 0.0
+        assert geomean([0.0, 2.0]) == pytest.approx(2.0)  # zeros skipped
+
+    def test_render_contains_benchmarks_and_geomean(self):
+        fig = FigureResult("Figure X", "demo")
+        fig.series.append(Series("a", {"cmp": 1.5, "grep": 2.0}))
+        fig.series.append(Series("b", {"cmp": 1.0}))
+        text = fig.render()
+        assert "Figure X" in text
+        assert "cmp" in text and "grep" in text
+        assert "geomean" in text
+        assert "-" in text.splitlines()[-3]  # missing value placeholder
+
+    def test_series_lookup(self):
+        fig = FigureResult("F", "t", [Series("a", {"x": 1.0})])
+        assert fig.series_by_label("a").values["x"] == 1.0
+        with pytest.raises(KeyError):
+            fig.series_by_label("zzz")
+
+
+class TestRunner:
+    def test_config_key_distinguishes_configs(self):
+        a = paper_machine(issue_width=4, int_core=16)
+        b = paper_machine(issue_width=4, int_core=16, rc_class=RClass.INT)
+        c = paper_machine(issue_width=8, int_core=16)
+        keys = {_config_key(x) for x in (a, b, c)}
+        assert len(keys) == 3
+
+    def test_run_verifies_and_caches(self, runner):
+        cfg = paper_machine(issue_width=2, int_core=16)
+        rec1 = runner.run("cmp", cfg)
+        assert rec1.checksum_ok
+        assert rec1.cycles > 0
+        # Second call must come from cache (same object contents).
+        rec2 = runner.run("cmp", cfg)
+        assert rec2 == rec1
+
+    def test_disk_cache_survives_new_runner(self, runner, tmp_path):
+        cfg = paper_machine(issue_width=2, int_core=16)
+        rec1 = runner.run("grep", cfg)
+        fresh = ExperimentRunner(scale=1, cache_dir=tmp_path / "cache")
+        rec2 = fresh.run("grep", cfg)
+        assert rec2 == rec1
+
+    def test_speedup_baseline_is_scalar_single_issue(self, runner):
+        base = runner.baseline_cycles("cmp")
+        assert base > 0
+        assert runner.speedup("cmp", unlimited_machine(1),
+                              opt_level="scalar") == pytest.approx(1.0)
+
+    def test_rc_class_follows_benchmark_kind(self, runner):
+        assert runner.rc_class_for("cmp") is RClass.INT
+        assert runner.rc_class_for("tomcatv") is RClass.FP
+
+    def test_unknown_benchmark_raises(self, runner):
+        with pytest.raises(ConfigError):
+            runner.run("doom", unlimited_machine(1))
+
+    def test_record_derived_metrics(self):
+        rec = RunRecord(
+            benchmark="x", cycles=100, instructions=200, ipc=2.0,
+            checksum_ok=True, total_static=120, program_static=80,
+            spill_static=10, connect_static=6, callsave_static=4,
+            spilled_vregs=2, extended_vregs=3, dyn_connects=50,
+            dyn_spills=40, mispredicts=1,
+        )
+        assert rec.overhead_static == 20
+        assert rec.code_size_increase == pytest.approx(0.2)
+        assert rec.callsave_increase == pytest.approx(0.04)
+
+
+class TestFigures:
+    def test_table1_is_static(self):
+        fig = table1()
+        assert fig.series[0].values["INT divide"] == 10.0
+        assert any("1/1-slot" in note for note in fig.notes)
+
+    def test_figure7_subset(self, runner):
+        fig = figure7(runner, benchmarks=("cmp",))
+        assert [s.label for s in fig.series] == [
+            "1-issue", "2-issue", "4-issue", "8-issue"]
+        values = [s.values["cmp"] for s in fig.series]
+        assert values[0] <= values[2]  # wider machines are not slower
+
+    def test_config_helper_targets_right_class(self):
+        int_cfg = _config("cmp", rc=True, int_core=16, fp_core=32)
+        assert int_cfg.int_spec.has_rc and not int_cfg.fp_spec.has_rc
+        assert int_cfg.fp_spec.core == 64  # other file fixed at 64
+        fp_cfg = _config("tomcatv", rc=True, int_core=16, fp_core=32)
+        assert fp_cfg.fp_spec.has_rc and not fp_cfg.int_spec.has_rc
+        assert fp_cfg.int_spec.core == 64
+
+    def test_ablation_unroll_subset(self, runner):
+        fig = ablation_unroll(runner, benchmarks=("cmp",))
+        assert len(fig.series) == 6  # 3 unroll factors x with/without RC
+
+
+class TestExport:
+    def _fig(self):
+        fig = FigureResult("Figure X", "demo")
+        fig.series.append(Series("a", {"cmp": 1.5, "grep": 2.0}))
+        fig.series.append(Series("b", {"cmp": 3.0, "grep": 4.0}))
+        return fig
+
+    def test_to_rows(self):
+        rows = self._fig().to_rows()
+        assert rows[0] == {"benchmark": "cmp", "a": 1.5, "b": 3.0}
+        assert rows[-1]["benchmark"] == "geomean"
+        assert rows[-1]["a"] == pytest.approx((1.5 * 2.0) ** 0.5)
+
+    def test_to_csv(self):
+        csv_text = self._fig().to_csv()
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "benchmark,a,b"
+        assert lines[1].startswith("cmp,1.5,3.0")
+
+    def test_to_json_roundtrips(self):
+        import json
+        doc = json.loads(self._fig().to_json())
+        assert doc["figure"] == "Figure X"
+        assert doc["series"] == ["a", "b"]
+        assert doc["rows"][0]["a"] == 1.5

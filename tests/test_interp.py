@@ -1,0 +1,157 @@
+"""Tests for the golden-model interpreter and its profiler."""
+
+import pytest
+
+from repro.errors import IRError, SimulationError
+from repro.ir import FnBuilder, Module, run_module
+from repro.ir.interp import Interpreter
+
+from helpers import call_module, diamond_module, fp_module, sum_to_n_module
+
+
+class TestBasicExecution:
+    def test_sum_to_n(self):
+        m = sum_to_n_module(10)
+        result = run_module(m)
+        assert result.load_word(m.global_addr("out")) == 55
+
+    def test_call_and_return_value(self):
+        m = call_module()
+        result = run_module(m)
+        assert result.load_word(m.global_addr("out")) == 50
+
+    def test_fp_arithmetic(self):
+        m = fp_module()
+        result = run_module(m)
+        assert result.load_word(m.global_addr("fout")) == pytest.approx(3.25)
+
+    def test_diamond_takes_then_side(self):
+        m = diamond_module()
+        result = run_module(m)
+        assert result.load_word(m.global_addr("out")) == 1
+
+    def test_uninitialized_memory_reads_zero(self):
+        m = Module()
+        m.add_global("out", 1)
+        b = FnBuilder(m, "main")
+        v = b.load(b.li(99999), 0)
+        b.store(b.add(v, 5), b.la("out"), 0)
+        b.halt()
+        b.done()
+        assert run_module(m).load_word(m.global_addr("out")) == 5
+
+    def test_nested_calls(self):
+        m = Module()
+        m.add_global("out", 1)
+        b = FnBuilder(m, "inc", params=[("i", "x")], ret="i")
+        b.ret(b.add(b.params[0], 1))
+        b.done()
+        b = FnBuilder(m, "twice", params=[("i", "x")], ret="i")
+        once = b.call("inc", [b.params[0]], ret="i")
+        b.ret(b.call("inc", [once], ret="i"))
+        b.done()
+        b = FnBuilder(m, "main")
+        b.store(b.call("twice", [40], ret="i"), b.la("out"), 0)
+        b.halt()
+        b.done()
+        assert run_module(m).load_word(m.global_addr("out")) == 42
+
+    def test_fp_argument_passing(self):
+        m = Module()
+        m.add_global("out", 1)
+        b = FnBuilder(m, "axpy", params=[("f", "a"), ("f", "x")], ret="f")
+        a, x = b.params
+        b.ret(b.fadd(b.fmul(a, x), b.fli(1.0)))
+        b.done()
+        b = FnBuilder(m, "main")
+        r = b.call("axpy", [b.fli(2.0), b.fli(3.0)], ret="f")
+        b.fstore(r, b.la("out"), 0)
+        b.halt()
+        b.done()
+        assert run_module(m).load_word(m.global_addr("out")) == pytest.approx(7.0)
+
+
+class TestErrors:
+    def test_read_undefined_vreg(self):
+        m = Module()
+        b = FnBuilder(m, "main")
+        ghost = b.vreg("i", "ghost")
+        b.add(ghost, 1)
+        b.halt()
+        b.done()
+        with pytest.raises(IRError, match="undefined"):
+            run_module(m)
+
+    def test_step_limit_catches_infinite_loops(self):
+        m = Module()
+        b = FnBuilder(m, "main")
+        b.block("spin")
+        b.li(0)
+        b.jmp("spin")
+        b.done()
+        with pytest.raises(SimulationError, match="steps"):
+            Interpreter(m, step_limit=1000).run()
+
+    def test_wrong_arg_count(self):
+        m = call_module()
+        with pytest.raises(IRError):
+            Interpreter(m).run("square")
+
+
+class TestProfile:
+    def test_block_counts(self):
+        m = sum_to_n_module(10)
+        profile = run_module(m).profile
+        assert profile.block_weight("main", "loop") == 10
+        assert profile.block_weight("main", "entry") == 1
+        assert profile.block_weight("main", "exit") == 1
+
+    def test_branch_counts_and_prediction(self):
+        m = sum_to_n_module(10)
+        profile = run_module(m).profile
+        taken, not_taken = profile.branch_counts[("main", "loop")]
+        assert (taken, not_taken) == (9, 1)
+        assert profile.predict_taken("main", "loop") is True
+
+    def test_prediction_none_when_balanced(self):
+        m = diamond_module()
+        profile = run_module(m).profile
+        # branch executes once: 1 taken, 0 not-taken -> predict taken
+        assert profile.predict_taken("main", "entry") is True
+        # unknown block has no prediction
+        assert profile.predict_taken("main", "nope") is None
+
+    def test_call_counts(self):
+        m = call_module()
+        profile = run_module(m).profile
+        assert profile.call_counts["square"] == 1
+
+    def test_steps_counted(self):
+        m = sum_to_n_module(3)
+        result = run_module(m)
+        # entry: 4 instrs + implicit jmp; loop runs 3 x 3 instrs; exit: 2
+        assert result.steps == 5 + 9 + 2
+
+
+class TestMachineLevelOps:
+    def test_trap_rejected_with_clear_error(self):
+        from repro.isa import Instr, Opcode
+
+        m = Module()
+        b = FnBuilder(m, "main")
+        block = b.fn.new_block("entry")
+        block.instrs = [Instr(Opcode.TRAP, imm=1), Instr(Opcode.HALT)]
+        m.add_function(b.fn)
+        with pytest.raises(IRError, match="machine-level"):
+            run_module(m)
+
+    def test_connect_rejected_with_clear_error(self):
+        from repro.isa import Instr, Opcode, RClass, connect_use
+
+        m = Module()
+        b = FnBuilder(m, "main")
+        block = b.fn.new_block("entry")
+        block.instrs = [connect_use(RClass.INT, 1, 30), Instr(Opcode.HALT)]
+        m.add_function(b.fn)
+        with pytest.raises(IRError, match="machine-level"):
+            run_module(m)

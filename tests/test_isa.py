@@ -1,0 +1,283 @@
+"""Unit tests for the ISA layer: registers, opcodes, latencies, instructions."""
+
+import pytest
+
+from repro.errors import ConfigError, SimulationFault
+from repro.isa import (
+    Category,
+    Imm,
+    Instr,
+    LatencyModel,
+    Opcode,
+    PhysReg,
+    RClass,
+    VReg,
+    branch_taken,
+    combine_connects,
+    connect_def,
+    connect_use,
+    core_spec,
+    evaluate,
+    rc_spec,
+    spec,
+    table1_rows,
+    unlimited_spec,
+    wrap64,
+)
+from repro.isa.asmfmt import format_instr, format_listing
+from repro.isa.opcodes import NEGATED_BRANCH, SPECS
+from repro.isa.registers import (
+    INT_SPILL_TEMPS,
+    NUM_RESERVED_FP,
+    NUM_RESERVED_INT,
+    SP,
+)
+
+
+class TestRegisters:
+    def test_physreg_repr(self):
+        assert repr(PhysReg(RClass.INT, 5)) == "r5"
+        assert repr(PhysReg(RClass.FP, 8)) == "f8"
+
+    def test_sp_is_int_zero(self):
+        assert SP == PhysReg(RClass.INT, 0)
+
+    def test_spill_temps_distinct_from_sp(self):
+        assert SP not in INT_SPILL_TEMPS
+        assert len(set(INT_SPILL_TEMPS)) == 4
+
+    def test_core_spec_without_rc(self):
+        s = core_spec(RClass.INT, 16)
+        assert not s.has_rc
+        assert s.extended == 0
+        assert s.allocatable_core() == list(range(NUM_RESERVED_INT, 16))
+
+    def test_rc_spec_extended_section(self):
+        s = rc_spec(RClass.INT, 16)
+        assert s.has_rc
+        assert s.extended == 240  # 256 total (paper section 5.2)
+        assert s.extended_registers()[0] == 16
+        assert s.extended_registers()[-1] == 255
+
+    def test_fp_allocatable_registers_are_even_pairs(self):
+        s = core_spec(RClass.FP, 16)
+        regs = s.allocatable_core()
+        assert all(r % 2 == 0 for r in regs)
+        assert regs[0] == NUM_RESERVED_FP
+
+    def test_fp_extended_registers_are_even_pairs(self):
+        s = rc_spec(RClass.FP, 32)
+        assert all(r % 2 == 0 for r in s.extended_registers())
+        assert len(s.extended_registers()) == (256 - 32) // 2
+
+    def test_too_small_core_rejected(self):
+        with pytest.raises(ConfigError):
+            core_spec(RClass.INT, 4)
+
+    def test_total_smaller_than_core_rejected(self):
+        with pytest.raises(ConfigError):
+            rc_spec(RClass.INT, 64, 32)
+
+    def test_unlimited_spec(self):
+        s = unlimited_spec(RClass.INT)
+        assert not s.has_rc
+        assert len(s.allocatable_core()) > 1000
+
+
+class TestOpcodes:
+    def test_every_opcode_has_a_spec(self):
+        for op in Opcode:
+            assert op in SPECS
+
+    def test_branch_specs(self):
+        assert spec(Opcode.BEQ).is_cond_branch
+        assert spec(Opcode.JMP).is_branch
+        assert not spec(Opcode.JMP).is_cond_branch
+        assert not spec(Opcode.ADD).is_branch
+
+    def test_mem_specs(self):
+        assert spec(Opcode.LOAD).is_mem
+        assert spec(Opcode.FSTORE).is_mem
+        assert spec(Opcode.FSTORE).srcs == (RClass.FP, RClass.INT)
+
+    def test_connect_category(self):
+        for op in (Opcode.CUSE, Opcode.CDEF, Opcode.CUU, Opcode.CDU, Opcode.CDD):
+            assert spec(op).is_connect
+
+    def test_negated_branches_are_involutions(self):
+        for op, neg in NEGATED_BRANCH.items():
+            assert NEGATED_BRANCH[neg] is op
+
+    def test_fcmp_writes_int(self):
+        assert spec(Opcode.FCMPLT).dest is RClass.INT
+        assert spec(Opcode.FCMPLT).srcs == (RClass.FP, RClass.FP)
+
+
+class TestLatencies:
+    def test_table1_fixed_latencies(self):
+        lm = LatencyModel(load=2, connect=0)
+        assert lm.of(Opcode.ADD) == 1
+        assert lm.of(Opcode.MUL) == 3
+        assert lm.of(Opcode.DIV) == 10
+        assert lm.of(Opcode.FADD) == 3
+        assert lm.of(Opcode.CVTIF) == 3
+        assert lm.of(Opcode.FMUL) == 3
+        assert lm.of(Opcode.FDIV) == 10
+        assert lm.of(Opcode.STORE) == 1
+        assert lm.of(Opcode.BEQ) == 1
+
+    def test_load_latency_configurable(self):
+        assert LatencyModel(load=2).of(Opcode.LOAD) == 2
+        assert LatencyModel(load=4).of(Opcode.FLOAD) == 4
+
+    def test_connect_latency_configurable(self):
+        assert LatencyModel(connect=0).of(Opcode.CUSE) == 0
+        assert LatencyModel(connect=1).of(Opcode.CDD) == 1
+
+    def test_invalid_latencies_rejected(self):
+        with pytest.raises(ConfigError):
+            LatencyModel(load=3)
+        with pytest.raises(ConfigError):
+            LatencyModel(connect=2)
+
+    def test_table1_rows_cover_paper(self):
+        rows = dict(table1_rows())
+        assert rows["INT divide"] == "10"
+        assert rows["branch"] == "1/1-slot"
+        assert rows["memory load"] == "2 or 4"
+
+
+class TestSemantics:
+    def test_wrap64(self):
+        assert wrap64(2**63) == -(2**63)
+        assert wrap64(-(2**63) - 1) == 2**63 - 1
+        assert wrap64(42) == 42
+
+    def test_add_wraps(self):
+        assert evaluate(Opcode.ADD, 2**63 - 1, 1) == -(2**63)
+
+    def test_div_truncates_toward_zero(self):
+        assert evaluate(Opcode.DIV, 7, 2) == 3
+        assert evaluate(Opcode.DIV, -7, 2) == -3
+        assert evaluate(Opcode.REM, -7, 2) == -1
+
+    def test_div_by_zero_faults(self):
+        with pytest.raises(SimulationFault):
+            evaluate(Opcode.DIV, 1, 0)
+        with pytest.raises(SimulationFault):
+            evaluate(Opcode.FDIV, 1.0, 0.0)
+
+    def test_srl_is_logical(self):
+        assert evaluate(Opcode.SRL, -1, 60) == 15
+        assert evaluate(Opcode.SRA, -8, 1) == -4
+
+    def test_compares(self):
+        assert evaluate(Opcode.CMPLT, 1, 2) == 1
+        assert evaluate(Opcode.CMPGE, 1, 2) == 0
+        assert evaluate(Opcode.FCMPLE, 1.0, 1.0) == 1
+
+    def test_branch_predicates(self):
+        assert branch_taken(Opcode.BEQ, 3, 3)
+        assert not branch_taken(Opcode.BNE, 3, 3)
+        assert branch_taken(Opcode.BEQZ, 0)
+        assert branch_taken(Opcode.BGT, 5, 4)
+
+    def test_cvt(self):
+        assert evaluate(Opcode.CVTIF, 3) == 3.0
+        assert evaluate(Opcode.CVTFI, 3.9) == 3
+        assert evaluate(Opcode.CVTFI, -3.9) == -3
+
+
+class TestInstr:
+    def test_regs_iteration(self):
+        d = VReg(RClass.INT, 0)
+        a = VReg(RClass.INT, 1)
+        i = Instr(Opcode.ADD, dest=d, srcs=(a, Imm(3)))
+        assert list(i.reg_srcs()) == [a]
+        assert list(i.regs()) == [a, d]
+
+    def test_replace_operands(self):
+        d = VReg(RClass.INT, 0)
+        a = VReg(RClass.INT, 1)
+        p = PhysReg(RClass.INT, 7)
+        i = Instr(Opcode.MOVE, dest=d, srcs=(a,))
+        i.replace_operands({a: p, d: PhysReg(RClass.INT, 8)})
+        assert i.srcs == (p,)
+        assert i.dest == PhysReg(RClass.INT, 8)
+
+    def test_copy_is_independent(self):
+        i = Instr(Opcode.LI, dest=VReg(RClass.INT, 0), imm=5)
+        j = i.copy()
+        j.imm = 6
+        assert i.imm == 5
+
+    def test_connect_updates_single(self):
+        cu = connect_use(RClass.INT, 3, 200)
+        assert cu.connect_updates() == [(RClass.INT, "read", 3, 200)]
+        cd = connect_def(RClass.FP, 4, 100)
+        assert cd.connect_updates() == [(RClass.FP, "write", 4, 100)]
+
+    def test_connect_updates_not_connect_raises(self):
+        with pytest.raises(ValueError):
+            Instr(Opcode.ADD).connect_updates()
+
+    def test_combine_use_use(self):
+        c = combine_connects(connect_use(RClass.INT, 1, 30),
+                             connect_use(RClass.INT, 2, 31))
+        assert c.op is Opcode.CUU
+        assert c.connect_updates() == [
+            (RClass.INT, "read", 1, 30),
+            (RClass.INT, "read", 2, 31),
+        ]
+
+    def test_combine_def_use_normalizes_order(self):
+        c = combine_connects(connect_use(RClass.INT, 1, 30),
+                             connect_def(RClass.INT, 2, 31))
+        assert c.op is Opcode.CDU
+        assert c.connect_updates() == [
+            (RClass.INT, "write", 2, 31),
+            (RClass.INT, "read", 1, 30),
+        ]
+
+    def test_combine_def_def(self):
+        c = combine_connects(connect_def(RClass.INT, 1, 30),
+                             connect_def(RClass.INT, 2, 31))
+        assert c.op is Opcode.CDD
+
+    def test_combine_rejects_cross_class(self):
+        assert combine_connects(connect_use(RClass.INT, 1, 30),
+                                connect_use(RClass.FP, 2, 30)) is None
+
+    def test_combine_rejects_non_connects(self):
+        assert combine_connects(Instr(Opcode.NOP),
+                                connect_use(RClass.INT, 1, 30)) is None
+
+
+class TestAsmFormat:
+    def test_format_alu(self):
+        i = Instr(Opcode.ADD, dest=PhysReg(RClass.INT, 5),
+                  srcs=(PhysReg(RClass.INT, 6), Imm(3)))
+        assert format_instr(i) == "add r5, r6, 3"
+
+    def test_format_load_store(self):
+        ld = Instr(Opcode.LOAD, dest=PhysReg(RClass.INT, 5),
+                   srcs=(PhysReg(RClass.INT, 0),), imm=4)
+        assert format_instr(ld) == "load r5, 4(r0)"
+        st = Instr(Opcode.FSTORE, srcs=(PhysReg(RClass.FP, 4),
+                                        PhysReg(RClass.INT, 0)), imm=-2)
+        assert format_instr(st) == "fstore f4, -2(r0)"
+
+    def test_format_branch_with_hint(self):
+        i = Instr(Opcode.BLT, srcs=(PhysReg(RClass.INT, 5), Imm(10)),
+                  label="loop", hint_taken=True)
+        assert "blt r5, 10 -> loop [taken]" == format_instr(i)
+
+    def test_format_connect(self):
+        assert format_instr(connect_use(RClass.INT, 3, 200)) == \
+            "connect_use ri3, rp200"
+
+    def test_format_listing_addresses(self):
+        text = format_listing([Instr(Opcode.NOP), Instr(Opcode.HALT)])
+        lines = text.splitlines()
+        assert lines[0].strip().startswith("0: nop")
+        assert lines[1].strip().startswith("1: halt")

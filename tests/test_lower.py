@@ -1,0 +1,160 @@
+"""Tests for block layout, branch normalization, and program lowering."""
+
+import pytest
+
+from repro.compiler import layout_function, lower_module
+from repro.errors import CompileError
+from repro.ir import FnBuilder, Module
+from repro.isa import Imm, Instr, Opcode, PhysReg, RClass
+from repro.sim import MachineConfig, simulate
+from repro.isa.registers import core_spec
+
+
+def r(n):
+    return PhysReg(RClass.INT, n)
+
+
+def machine_fn(m, name="main"):
+    """Build a small physical-register function directly."""
+    b = FnBuilder(m, name)
+    return b
+
+
+def simple_config():
+    return MachineConfig(issue_width=1,
+                         int_spec=core_spec(RClass.INT, 16),
+                         fp_spec=core_spec(RClass.FP, 16))
+
+
+class TestLayout:
+    def _branchy(self):
+        m = Module()
+        b = FnBuilder(m, "main")
+        b.fn.new_block("entry")
+        entry = b.fn.block("entry")
+        entry.instrs = [
+            Instr(Opcode.BEQ, srcs=(r(5), r(6)), label="join"),
+        ]
+        entry.fallthrough = "side"
+        side = b.fn.new_block("side")
+        side.instrs = [Instr(Opcode.JMP, label="join")]
+        join = b.fn.new_block("join")
+        join.instrs = [Instr(Opcode.HALT)]
+        return m, b.fn
+
+    def test_fallthrough_placed_adjacent(self):
+        _m, fn = self._branchy()
+        order = [blk.name for blk in layout_function(fn)]
+        assert order.index("side") == order.index("entry") + 1
+
+    def test_trampoline_inserted_when_fallthrough_placed(self):
+        m = Module()
+        b = FnBuilder(m, "main")
+        entry = b.fn.new_block("entry")
+        entry.instrs = [Instr(Opcode.JMP, label="hot")]
+        hot = b.fn.new_block("hot")
+        hot.instrs = [Instr(Opcode.BNE, srcs=(r(5), r(6)), label="hot")]
+        hot.fallthrough = "entry"  # already placed -> needs a trampoline
+        order = layout_function(b.fn)
+        names = [blk.name for blk in order]
+        tramp = names[names.index("hot") + 1]
+        assert tramp.endswith(".tramp0")
+        assert b.fn.block(tramp).instrs[0].op is Opcode.JMP
+
+    def test_hot_taken_branch_negated(self):
+        m = Module()
+        b = FnBuilder(m, "main")
+        entry = b.fn.new_block("entry")
+        entry.instrs = [Instr(Opcode.BEQ, srcs=(r(5), r(6)), label="hot",
+                              hint_taken=True)]
+        entry.fallthrough = "cold"
+        cold = b.fn.new_block("cold")
+        cold.instrs = [Instr(Opcode.HALT)]
+        hot = b.fn.new_block("hot")
+        hot.instrs = [Instr(Opcode.HALT)]
+        layout_function(b.fn)
+        term = entry.terminator
+        assert term.op is Opcode.BNE          # negated
+        assert term.label == "cold"           # targets swapped
+        assert entry.fallthrough == "hot"     # hot path falls through
+        assert term.hint_taken is False
+
+    def test_backward_branch_not_negated(self):
+        m = Module()
+        b = FnBuilder(m, "main")
+        loop = b.fn.new_block("loop")
+        loop.instrs = [Instr(Opcode.BNE, srcs=(r(5), r(6)), label="loop",
+                             hint_taken=True)]
+        loop.fallthrough = "exit"
+        exit_ = b.fn.new_block("exit")
+        exit_.instrs = [Instr(Opcode.HALT)]
+        layout_function(b.fn)
+        assert loop.terminator.op is Opcode.BNE
+        assert loop.terminator.label == "loop"
+
+
+class TestLowerModule:
+    def _module(self):
+        m = Module()
+        m.add_global("out", 1)
+        b = FnBuilder(m, "helper")
+        helper = b.fn.new_block("entry")
+        helper.instrs = [
+            Instr(Opcode.LI, dest=r(1), imm=9),
+            Instr(Opcode.RET),
+        ]
+        b.fn.blocks.append(helper) if helper not in b.fn.blocks else None
+        m.add_function(b.fn)
+
+        b2 = FnBuilder(m, "main")
+        main = b2.fn.new_block("entry")
+        main.instrs = [
+            Instr(Opcode.CALL, label="helper"),
+            Instr(Opcode.STORE, srcs=(r(1), Imm(0)),
+                  imm=m.global_addr("out")),
+            Instr(Opcode.HALT),
+        ]
+        m.add_function(b2.fn)
+        return m
+
+    def test_entry_function_placed_first(self):
+        m = self._module()
+        program = lower_module(m, entry="main")
+        assert program.entry == 0
+        assert program.func_ranges["main"][0] == 0
+
+    def test_call_targets_resolved_across_functions(self):
+        m = self._module()
+        program = lower_module(m, entry="main")
+        call_idx = next(i for i, ins in enumerate(program.instrs)
+                        if ins.op is Opcode.CALL)
+        assert program.targets[call_idx] == program.func_ranges["helper"][0]
+        result = simulate(program, simple_config())
+        assert result.load_word(m.global_addr("out")) == 9
+
+    def test_unknown_entry_rejected(self):
+        with pytest.raises(CompileError):
+            lower_module(self._module(), entry="ghost")
+
+    def test_unknown_callee_rejected(self):
+        m = Module()
+        b = FnBuilder(m, "main")
+        blk = b.fn.new_block("entry")
+        blk.instrs = [Instr(Opcode.CALL, label="ghost"), Instr(Opcode.HALT)]
+        m.add_function(b.fn)
+        with pytest.raises(CompileError):
+            lower_module(m, entry="main")
+
+    def test_function_of_lookup(self):
+        m = self._module()
+        program = lower_module(m, entry="main")
+        assert program.function_of(0) == "main"
+        helper_start = program.func_ranges["helper"][0]
+        assert program.function_of(helper_start) == "helper"
+        assert program.function_of(10_000) is None
+
+    def test_static_counts_by_origin(self):
+        m = self._module()
+        program = lower_module(m, entry="main")
+        counts = program.static_counts()
+        assert counts[None] == len(program)

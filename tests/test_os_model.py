@@ -1,0 +1,115 @@
+"""Tests for the resumable simulator and the time-sharing OS model."""
+
+import pytest
+
+from repro.compiler import compile_module
+from repro.errors import SimulationError
+from repro.ir import run_module
+from repro.isa import RClass
+from repro.sim import Simulator, paper_machine
+from repro.sim.os_model import TimeSharingSystem
+from repro.workloads import workload
+
+from helpers import sum_to_n_module
+
+
+RC_CONFIG = paper_machine(issue_width=4, int_core=16, fp_core=32,
+                          rc_class=RClass.INT)
+PLAIN_CONFIG = paper_machine(issue_width=4, int_core=16, fp_core=32)
+
+
+def compiled(name_or_module, config):
+    if isinstance(name_or_module, str):
+        module = workload(name_or_module).module()
+    else:
+        module = name_or_module
+    return module, compile_module(module, config)
+
+
+class TestResumableSimulator:
+    def test_segmented_run_matches_single_run(self):
+        m = sum_to_n_module(200)
+        _, out = compiled(m, PLAIN_CONFIG)
+        whole = Simulator(out.program, PLAIN_CONFIG).run()
+
+        sim = Simulator(out.program, PLAIN_CONFIG)
+        segments = 0
+        while True:
+            result = sim.run(until_cycle=sim._cycle + 50 if segments else 50)
+            segments += 1
+            if result.halted:
+                break
+        assert segments > 3
+        assert result.stats.cycles == whole.stats.cycles
+        assert result.stats.instructions == whole.stats.instructions
+        addr = m.global_addr("out")
+        assert result.load_word(addr) == whole.load_word(addr)
+
+    def test_run_after_halt_is_stable(self):
+        m = sum_to_n_module(5)
+        _, out = compiled(m, PLAIN_CONFIG)
+        sim = Simulator(out.program, PLAIN_CONFIG)
+        first = sim.run()
+        again = sim.run()
+        assert again.halted
+        assert again.stats.cycles == first.stats.cycles
+
+
+class TestTimeSharing:
+    def test_two_rc_processes_complete_correctly(self):
+        system = TimeSharingSystem(RC_CONFIG, quantum=300)
+        expected = {}
+        for name in ("cmp", "grep"):
+            module, out = compiled(name, RC_CONFIG)
+            system.add_process(out.program, name=name)
+            expected[name] = (module.global_addr("checksum"),
+                              run_module(module).load_word(
+                                  module.global_addr("checksum")))
+        outcome = system.run()
+        assert outcome.total_switches > 2
+        for name, (addr, want) in expected.items():
+            proc = outcome.process(name)
+            assert proc.finished
+            got = proc.simulator.state.memory.get(addr, 0)
+            assert got == want, f"{name} corrupted by context switching"
+
+    def test_context_survives_scrambled_registers_and_maps(self):
+        """The scramble between quanta would corrupt results if the context
+        format forgot any architecturally visible state."""
+        module, out = compiled("eqntott", RC_CONFIG)
+        golden = run_module(module).load_word(module.global_addr("checksum"))
+        system = TimeSharingSystem(RC_CONFIG, quantum=97)  # many switches
+        proc = system.add_process(out.program, name="eqntott")
+        outcome = system.run()
+        assert proc.switches > 50
+        got = proc.simulator.state.memory.get(
+            module.global_addr("checksum"), 0)
+        assert got == golden
+
+    def test_legacy_process_uses_smaller_context(self):
+        module_rc, out_rc = compiled("cmp", RC_CONFIG)
+        module_legacy, out_legacy = compiled(
+            sum_to_n_module(4000), PLAIN_CONFIG)
+        # The legacy binary was compiled for the base architecture but runs
+        # on the RC machine: build its simulator against the RC config.
+        system = TimeSharingSystem(RC_CONFIG, quantum=200)
+        rc_proc = system.add_process(out_rc.program, name="rcproc")
+        legacy_proc = system.add_process(
+            out_legacy.program, name="legacy", rc_process=False)
+        outcome = system.run()
+        assert rc_proc.switches > 0 and legacy_proc.switches > 0
+        # Per-switch context cost: legacy saves core only.
+        rc_cost = rc_proc.context_words / rc_proc.switches
+        legacy_cost = legacy_proc.context_words / legacy_proc.switches
+        assert legacy_cost < rc_cost
+        # And both still computed the right answers.
+        addr = module_legacy.global_addr("out")
+        assert legacy_proc.simulator.state.memory.get(addr, 0) == \
+            run_module(module_legacy).load_word(addr)
+        addr = module_rc.global_addr("checksum")
+        assert rc_proc.simulator.state.memory.get(addr, 0) == \
+            run_module(module_rc).load_word(addr)
+
+    def test_bad_quantum_rejected(self):
+        with pytest.raises(SimulationError):
+            TimeSharingSystem(RC_CONFIG, quantum=0)

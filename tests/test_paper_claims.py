@@ -1,0 +1,111 @@
+"""Guard rails for the reproduction itself: the paper's qualitative claims.
+
+These tests assert the *shapes* EXPERIMENTS.md reports, on a small benchmark
+subset, so a regression in the compiler or simulator that silently breaks
+the reproduction (rather than correctness) still fails the suite.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentRunner
+from repro.experiments.figures import _config
+from repro.sim import unlimited_machine
+
+BENCHES = ("cmp", "eqntott", "tomcatv")
+
+
+@pytest.fixture(scope="module")
+def runner(tmp_path_factory):
+    return ExperimentRunner(scale=1,
+                            cache_dir=tmp_path_factory.mktemp("cache"))
+
+
+def geomean_speedup(runner, rc, **cfg_kwargs):
+    import math
+    vals = [runner.speedup(n, _config(n, rc=rc, **cfg_kwargs))
+            for n in BENCHES]
+    return math.exp(sum(map(math.log, vals)) / len(vals))
+
+
+class TestFigure8Claims:
+    def test_rc_dominates_at_small_core_files(self, runner):
+        """Severe degradation at 8/16 registers; RC recovers most of it."""
+        for pair in ((8, 16), (16, 32)):
+            wo = geomean_speedup(runner, False, int_core=pair[0],
+                                 fp_core=pair[1])
+            rc = geomean_speedup(runner, True, int_core=pair[0],
+                                 fp_core=pair[1])
+            assert rc > wo * 1.1, f"RC advantage missing at {pair}"
+
+    def test_large_core_files_match_unlimited(self, runner):
+        import math
+        unl = math.exp(sum(
+            math.log(runner.speedup(n, unlimited_machine(4)))
+            for n in BENCHES) / len(BENCHES))
+        for rc in (False, True):
+            big = geomean_speedup(runner, rc, int_core=64, fp_core=128)
+            assert big > 0.95 * unl
+
+    def test_headline_90_percent(self, runner):
+        """16 core + 240 extended reaches ~90% of unlimited (Conclusion).
+
+        The full 12-benchmark geomean reaches 90% (see EXPERIMENTS.md); this
+        guard uses the three *most register-hungry* kernels, where the gap
+        is naturally wider, so the thresholds are looser but the ordering
+        must hold decisively.
+        """
+        import math
+        unl = math.exp(sum(
+            math.log(runner.speedup(n, unlimited_machine(4)))
+            for n in BENCHES) / len(BENCHES))
+        rc16 = geomean_speedup(runner, True, int_core=16, fp_core=32)
+        wo16 = geomean_speedup(runner, False, int_core=16, fp_core=32)
+        assert rc16 / unl > 0.65
+        assert rc16 / unl > wo16 / unl + 0.15
+
+
+class TestFigure10Claims:
+    def test_rc_benefit_grows_with_issue_rate(self, runner):
+        gains = []
+        for issue in (2, 8):
+            wo = geomean_speedup(runner, False, int_core=16, fp_core=32,
+                                 issue=issue)
+            rc = geomean_speedup(runner, True, int_core=16, fp_core=32,
+                                 issue=issue)
+            gains.append(rc / wo)
+        assert gains[1] > gains[0]
+
+
+class TestFigure11Claims:
+    def test_rc_benefit_larger_at_four_cycle_loads(self, runner):
+        gains = []
+        for load in (2, 4):
+            wo = geomean_speedup(runner, False, int_core=16, fp_core=32,
+                                 load=load)
+            rc = geomean_speedup(runner, True, int_core=16, fp_core=32,
+                                 load=load)
+            gains.append(rc / wo)
+        assert gains[1] >= gains[0]
+
+
+class TestFigure12Claims:
+    def test_implementation_scenarios_lose_little(self, runner):
+        best = geomean_speedup(runner, True, int_core=16, fp_core=32,
+                               connect=0, extra_stage=False)
+        worst = geomean_speedup(runner, True, int_core=16, fp_core=32,
+                                connect=1, extra_stage=True)
+        assert worst > 0.85 * best
+        # and even the worst RC implementation beats spilling
+        wo = geomean_speedup(runner, False, int_core=16, fp_core=32)
+        assert worst > wo
+
+
+class TestFigure13Claims:
+    def test_rc_beats_doubling_memory_channels(self, runner):
+        wo2 = geomean_speedup(runner, False, int_core=16, fp_core=32,
+                              channels=2)
+        wo4 = geomean_speedup(runner, False, int_core=16, fp_core=32,
+                              channels=4)
+        rc2 = geomean_speedup(runner, True, int_core=16, fp_core=32,
+                              channels=2)
+        assert (rc2 - wo2) > 2 * (wo4 - wo2)

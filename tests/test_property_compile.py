@@ -1,0 +1,159 @@
+"""Property-based tests: random programs must produce identical results on
+the IR interpreter and on every compiled/simulated configuration."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler import CompileOptions, OptOptions, compile_module
+from repro.ir import FnBuilder, Module, run_module
+from repro.isa import RClass
+from repro.rc import RCModel
+from repro.sim import paper_machine, simulate, unlimited_machine
+
+N_VARS = 6
+
+_BINOPS = ["add", "sub", "mul", "and_", "or_", "xor", "cmplt", "cmpeq",
+           "cmpgt"]
+
+
+@st.composite
+def program_spec(draw):
+    """A random straight-line+loop integer program description."""
+    init = draw(st.lists(st.integers(-50, 50), min_size=N_VARS,
+                         max_size=N_VARS))
+    pre_ops = draw(st.lists(
+        st.tuples(st.integers(0, N_VARS - 1),
+                  st.sampled_from(_BINOPS),
+                  st.integers(0, N_VARS - 1),
+                  st.integers(0, N_VARS - 1)),
+        min_size=0, max_size=8))
+    loop_ops = draw(st.lists(
+        st.tuples(st.integers(0, N_VARS - 1),
+                  st.sampled_from(_BINOPS),
+                  st.integers(0, N_VARS - 1),
+                  st.integers(0, N_VARS - 1)),
+        min_size=1, max_size=10))
+    trip = draw(st.integers(1, 9))
+    use_call = draw(st.booleans())
+    return init, pre_ops, loop_ops, trip, use_call
+
+
+def build_program(spec) -> Module:
+    init, pre_ops, loop_ops, trip, use_call = spec
+    m = Module()
+    m.add_global("out", 1)
+    m.add_global("data", N_VARS, list(init))
+    if use_call:
+        b = FnBuilder(m, "mix", params=[("i", "x"), ("i", "y")], ret="i")
+        x, y = b.params
+        b.ret(b.xor(b.add(x, y), 13))
+        b.done()
+    b = FnBuilder(m, "main")
+    base = b.la("data")
+    vals = [b.load(base, j, name=f"v{j}") for j in range(N_VARS)]
+
+    def emit(op_tuple):
+        d, op, a, c = op_tuple
+        getattr(b, op)(vals[a], vals[c], dest=vals[d])
+
+    for t in pre_ops:
+        emit(t)
+    i = b.li(0, name="i")
+    b.block("loop")
+    for t in loop_ops:
+        emit(t)
+    if use_call:
+        r = b.call("mix", [vals[0], vals[1]], ret="i")
+        b.and_(r, 0xFF, dest=vals[0])
+    b.add(i, 1, dest=i)
+    b.br("blt", i, trip, "loop")
+    b.block("exit")
+    total = b.li(0, name="total")
+    for v in vals:
+        b.add(total, v, dest=total)
+    b.store(total, b.la("out"), 0)
+    b.halt()
+    b.done()
+    return m
+
+
+CONFIGS = [
+    unlimited_machine(4),
+    paper_machine(issue_width=4, int_core=8, fp_core=16),
+    paper_machine(issue_width=4, int_core=8, fp_core=16,
+                  rc_class=RClass.INT),
+    paper_machine(issue_width=8, int_core=8, fp_core=16,
+                  rc_class=RClass.INT, connect_latency=1,
+                  rc_model=RCModel.NO_RESET),
+]
+
+
+@settings(max_examples=25, deadline=None)
+@given(program_spec())
+def test_random_program_equivalence(spec):
+    m = build_program(spec)
+    golden = run_module(m).load_word(m.global_addr("out"))
+    for cfg in CONFIGS:
+        out = compile_module(m, cfg)
+        got = simulate(out.program, cfg).load_word(m.global_addr("out"))
+        assert got == golden, f"mismatch on {cfg.describe()}"
+
+
+@settings(max_examples=10, deadline=None)
+@given(program_spec(), st.sampled_from(list(RCModel)),
+       st.integers(2, 6))
+def test_random_program_equivalence_models_and_windows(spec, model, windows):
+    from repro.compiler.regalloc.allocator import AllocationOptions
+
+    m = build_program(spec)
+    golden = run_module(m).load_word(m.global_addr("out"))
+    cfg = paper_machine(issue_width=4, int_core=8, fp_core=16,
+                        rc_class=RClass.INT, rc_model=model)
+    opts = CompileOptions(alloc=AllocationOptions(num_windows=windows))
+    out = compile_module(m, cfg, opts)
+    got = simulate(out.program, cfg).load_word(m.global_addr("out"))
+    assert got == golden
+
+
+@settings(max_examples=10, deadline=None)
+@given(program_spec(), st.integers(2, 6))
+def test_random_program_equivalence_unrolled(spec, factor):
+    m = build_program(spec)
+    golden = run_module(m).load_word(m.global_addr("out"))
+    cfg = paper_machine(issue_width=8, int_core=16, fp_core=16,
+                        rc_class=RClass.INT)
+    opts = CompileOptions(opt=OptOptions(level="ilp", unroll_factor=factor))
+    out = compile_module(m, cfg, opts)
+    got = simulate(out.program, cfg).load_word(m.global_addr("out"))
+    assert got == golden
+
+
+@settings(max_examples=20, deadline=None)
+@given(program_spec(), st.integers(10, 24))
+def test_coloring_respects_interference(spec, core):
+    """Property: after allocation, interfering virtual registers never share
+    a physical register, and reserved registers are never handed out."""
+    from repro.compiler import (
+        allocate_function,
+        build_interference,
+        lower_calls,
+        priority_order,
+    )
+    from repro.isa import NUM_RESERVED_INT, core_spec
+
+    m = build_program(spec)
+    fn = m.functions["main"]
+    lower_calls(fn)
+    int_spec = core_spec(RClass.INT, core)
+    fp_spec = core_spec(RClass.FP, 16)
+    graph = build_interference(fn)
+    result = allocate_function(fn, None, int_spec, fp_spec)
+    for v, reg in result.assignment.items():
+        assert reg.num >= NUM_RESERVED_INT or reg.cls is RClass.FP
+        assert reg.num < core or reg.cls is RClass.FP
+        for n in graph.neighbors(v):
+            if n in result.assignment:
+                assert result.assignment[n] != reg, (v, n, reg)
+    # every virtual register has exactly one location
+    for v in fn.vregs():
+        assert (v in result.assignment) != (v in result.spilled)

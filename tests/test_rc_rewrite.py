@@ -1,0 +1,245 @@
+"""Unit tests for connect insertion: windows, stealing, restores, combining."""
+
+import pytest
+
+from repro.compiler import check_encodable, insert_connects
+from repro.compiler.regalloc.rc_rewrite import (
+    ConnectionAllocator,
+    _reads_after,
+)
+from repro.errors import AllocationError
+from repro.ir import FnBuilder, Module
+from repro.isa import Imm, Instr, Opcode, PhysReg, RClass
+from repro.rc import RCModel
+
+
+def r(n):
+    return PhysReg(RClass.INT, n)
+
+
+def build_fn(instrs, fallthrough=None):
+    m = Module()
+    b = FnBuilder(m, "main")
+    block = b.fn.new_block("entry")
+    block.instrs = list(instrs)
+    if fallthrough:
+        block.fallthrough = fallthrough
+    m.add_function(b.fn)
+    return b.fn
+
+
+CORE = 16
+WINDOWS = [14, 15]
+STEALS = [5, 6, 7, 8, 9, 10, 11, 12, 13]
+
+
+def rewrite(instrs, model=RCModel.WRITE_RESET_READ_UPDATE, steals=STEALS,
+            combine=False):
+    fn = build_fn(instrs)
+    n = insert_connects(fn, RClass.INT, CORE, WINDOWS, model,
+                        combine=combine, steal_pool=steals)
+    check_encodable(fn, RClass.INT, CORE)
+    return fn.entry.instrs, n
+
+
+class TestBasicRewrite:
+    def test_extended_read_gets_connect_use(self):
+        out, n = rewrite([
+            Instr(Opcode.ADD, dest=r(5), srcs=(r(30), Imm(1))),
+            Instr(Opcode.HALT),
+        ])
+        assert n == 1
+        assert out[0].op is Opcode.CUSE
+        _, which, idx, phys = out[0].connect_updates()[0] + tuple()
+        assert (which, phys) == ("read", 30)
+        assert out[1].srcs[0].num == idx
+
+    def test_extended_write_gets_connect_def(self):
+        out, n = rewrite([
+            Instr(Opcode.LI, dest=r(40), imm=7),
+            Instr(Opcode.HALT),
+        ])
+        assert out[0].op is Opcode.CDEF
+        assert out[1].dest.num < CORE
+
+    def test_connection_reused_for_repeated_reads(self):
+        out, n = rewrite([
+            Instr(Opcode.ADD, dest=r(5), srcs=(r(30), Imm(1))),
+            Instr(Opcode.ADD, dest=r(6), srcs=(r(30), Imm(2))),
+            Instr(Opcode.HALT),
+        ])
+        assert n == 1  # one connect serves both reads
+
+    def test_two_extended_sources_use_distinct_indices(self):
+        out, _ = rewrite([
+            Instr(Opcode.ADD, dest=r(5), srcs=(r(30), r(31))),
+            Instr(Opcode.HALT),
+        ])
+        add = next(i for i in out if i.op is Opcode.ADD)
+        assert add.srcs[0] != add.srcs[1]
+
+    def test_model3_read_after_write_needs_no_connect_use(self):
+        out, n = rewrite([
+            Instr(Opcode.LI, dest=r(40), imm=7),
+            Instr(Opcode.ADD, dest=r(5), srcs=(r(40), Imm(1))),
+            Instr(Opcode.HALT),
+        ])
+        # one connect-def; the read reuses the auto-updated read map
+        assert n == 1
+
+    def test_model1_read_after_write_needs_connect_use(self):
+        out, n = rewrite([
+            Instr(Opcode.LI, dest=r(40), imm=7),
+            Instr(Opcode.ADD, dest=r(5), srcs=(r(40), Imm(1))),
+            Instr(Opcode.HALT),
+        ], model=RCModel.NO_RESET)
+        assert n == 2
+
+    def test_model1_write_map_persists_for_rewrites(self):
+        out, n = rewrite([
+            Instr(Opcode.LI, dest=r(40), imm=7),
+            Instr(Opcode.LI, dest=r(40), imm=9),
+            Instr(Opcode.HALT),
+        ], model=RCModel.NO_RESET)
+        assert n == 1  # the second write reuses the persistent write map
+
+
+class TestStealing:
+    def test_steals_dead_index(self):
+        # r5's core value is never read below: its index may be stolen.
+        out, _ = rewrite([
+            Instr(Opcode.ADD, dest=r(6), srcs=(r(30), Imm(1))),
+            Instr(Opcode.HALT),
+        ], steals=[5])
+        cuse = out[0]
+        assert cuse.connect_updates()[0][2] in (5, 14, 15)
+
+    def test_never_steals_index_read_later(self):
+        # r5 is read by the later add: only windows may be redirected.
+        out, _ = rewrite([
+            Instr(Opcode.ADD, dest=r(6), srcs=(r(30), Imm(1))),
+            Instr(Opcode.ADD, dest=r(7), srcs=(r(5), Imm(1))),
+            Instr(Opcode.HALT),
+        ], steals=[5])
+        used = {u[2] for i in out if i.is_connect
+                for u in i.connect_updates()}
+        assert 5 not in used
+
+    def test_stolen_index_restored_before_branch(self):
+        fn = build_fn([
+            Instr(Opcode.ADD, dest=r(6), srcs=(r(30), Imm(1))),
+            Instr(Opcode.BEQ, srcs=(r(6), Imm(0)), label="entry"),
+        ], fallthrough="exit")
+        exit_block = fn.new_block("exit")
+        exit_block.instrs = [Instr(Opcode.HALT)]
+        insert_connects(fn, RClass.INT, CORE, WINDOWS,
+                        RCModel.WRITE_RESET_READ_UPDATE, combine=False,
+                        steal_pool=[5])
+        entry = fn.block("entry").instrs
+        # if index 5 was stolen, a restore connect_use r5,r5 must precede
+        # the terminator
+        stolen = any(i.is_connect and i.connect_updates()[0][2] == 5
+                     and i.connect_updates()[0][3] == 30 for i in entry)
+        if stolen:
+            restores = [i for i in entry if i.is_connect
+                        and i.connect_updates()[0][2:] == (5, 5)]
+            assert restores, "stolen index not re-homed at block exit"
+            assert entry[-1].is_cond_branch
+
+    def test_windows_never_restored(self):
+        out, _ = rewrite([
+            Instr(Opcode.ADD, dest=r(6), srcs=(r(30), Imm(1))),
+            Instr(Opcode.HALT),
+        ], steals=[])
+        for i in out:
+            if i.is_connect:
+                _, _, idx, phys = i.connect_updates()[0]
+                assert not (idx == phys)  # no self-restores emitted
+
+    def test_call_resets_connection_state(self):
+        out, n = rewrite([
+            Instr(Opcode.ADD, dest=r(6), srcs=(r(30), Imm(1))),
+            Instr(Opcode.CALL, label="main"),
+            Instr(Opcode.ADD, dest=r(7), srcs=(r(30), Imm(1))),
+            Instr(Opcode.HALT),
+        ])
+        assert n == 2  # reconnect needed after jsr reset
+
+
+class TestCombining:
+    def test_adjacent_connects_combined(self):
+        out, _ = rewrite([
+            Instr(Opcode.ADD, dest=r(40), srcs=(r(30), r(31))),
+            Instr(Opcode.HALT),
+        ], combine=True)
+        combined = [i for i in out
+                    if i.op in (Opcode.CUU, Opcode.CDU, Opcode.CDD)]
+        assert combined, "three connects should combine into multi-connects"
+
+
+class TestConnectionAllocator:
+    def test_needs_two_windows(self):
+        with pytest.raises(AllocationError):
+            ConnectionAllocator([14], [], RCModel.NO_RESET)
+
+    def test_pick_exhaustion_raises(self):
+        alloc = ConnectionAllocator([14, 15], [], RCModel.NO_RESET)
+        with pytest.raises(AllocationError):
+            alloc._pick((), excluded={14, 15})
+
+    def test_reads_after_suffix_sets(self):
+        instrs = [
+            Instr(Opcode.ADD, dest=r(6), srcs=(r(5), Imm(1))),
+            Instr(Opcode.ADD, dest=r(7), srcs=(r(6), Imm(1))),
+            Instr(Opcode.HALT),
+        ]
+        ra = _reads_after(instrs, RClass.INT, CORE)
+        assert ra[0] == {5, 6}
+        assert ra[1] == {6}
+        assert ra[2] == set()
+
+
+class TestPaperSection3Example:
+    def test_exactly_two_connects_for_the_papers_sequence(self):
+        """Paper section 3, verbatim: with R9 and R10 in the extended
+        section and core R1-R8,
+
+            1) R2 <- R2 + R9        needs a connect-use for R9
+            2) R10 <- R3 + 1        needs a connect-def for R10
+            3) R4 <- R10 + R5       needs NO connect: model 3's automatic
+                                    reset redirected the read map when
+                                    instruction 2 wrote through its index.
+
+        "the code sequence requires two connect instructions."
+        """
+        core = 9  # paper core R1..R8 (we include an index 0 for SP)
+        out, n = [None, None]
+        fn = build_fn([
+            Instr(Opcode.ADD, dest=r(2), srcs=(r(2), r(9))),
+            Instr(Opcode.ADD, dest=r(10), srcs=(r(3), Imm(1))),
+            Instr(Opcode.ADD, dest=r(4), srcs=(r(10), r(5))),
+            Instr(Opcode.HALT),
+        ])
+        n = insert_connects(fn, RClass.INT, core,
+                            windows=[6, 7], model=RCModel.WRITE_RESET_READ_UPDATE,
+                            combine=False, steal_pool=[])
+        assert n == 2
+        ops = [i.op for i in fn.entry.instrs]
+        assert ops.count(Opcode.CUSE) == 1
+        assert ops.count(Opcode.CDEF) == 1
+        check_encodable(fn, RClass.INT, core)
+
+    def test_model_one_would_need_a_third_connect(self):
+        """Under the no-reset model the read of R10 in instruction 3 needs
+        its own connect-use — the cost model 3 eliminates."""
+        core = 9
+        fn = build_fn([
+            Instr(Opcode.ADD, dest=r(2), srcs=(r(2), r(9))),
+            Instr(Opcode.ADD, dest=r(10), srcs=(r(3), Imm(1))),
+            Instr(Opcode.ADD, dest=r(4), srcs=(r(10), r(5))),
+            Instr(Opcode.HALT),
+        ])
+        n = insert_connects(fn, RClass.INT, core,
+                            windows=[6, 7], model=RCModel.NO_RESET,
+                            combine=False, steal_pool=[])
+        assert n == 3

@@ -1,0 +1,260 @@
+"""Unit tests for dependence-graph construction and list scheduling."""
+
+import pytest
+
+from repro.compiler import DepGraph, schedule_block_instrs
+from repro.isa import (
+    Imm,
+    Instr,
+    LatencyModel,
+    Opcode,
+    PhysReg,
+    RClass,
+    VReg,
+    connect_def,
+    connect_use,
+    core_spec,
+    rc_spec,
+)
+from repro.rc import RCModel
+from repro.sim import MachineConfig
+
+
+def r(n):
+    return PhysReg(RClass.INT, n)
+
+
+def v(n):
+    return VReg(RClass.INT, n)
+
+
+def graph(instrs, connect=0, model=RCModel.WRITE_RESET_READ_UPDATE,
+          windows=None):
+    return DepGraph(instrs, LatencyModel(load=2, connect=connect), model,
+                    windows)
+
+
+def config(issue=4, **kw):
+    defaults = dict(issue_width=issue, mem_channels=2,
+                    int_spec=core_spec(RClass.INT, 16),
+                    fp_spec=core_spec(RClass.FP, 16))
+    defaults.update(kw)
+    return MachineConfig(**defaults)
+
+
+def edge(g, a, b):
+    return g.nodes[a].succs.get(b)
+
+
+class TestDepGraphRegisters:
+    def test_raw_edge_carries_latency(self):
+        g = graph([
+            Instr(Opcode.MUL, dest=r(5), srcs=(r(6), r(6))),
+            Instr(Opcode.ADD, dest=r(7), srcs=(r(5), Imm(1))),
+        ])
+        assert edge(g, 0, 1) == 3  # mul latency
+
+    def test_war_edge_orders_without_latency(self):
+        g = graph([
+            Instr(Opcode.ADD, dest=r(7), srcs=(r(5), Imm(1))),  # reads r5
+            Instr(Opcode.LI, dest=r(5), imm=0),                 # writes r5
+        ])
+        assert edge(g, 0, 1) == 0
+
+    def test_independent_instrs_have_no_edge(self):
+        g = graph([
+            Instr(Opcode.LI, dest=r(5), imm=1),
+            Instr(Opcode.LI, dest=r(6), imm=2),
+        ])
+        assert edge(g, 0, 1) is None
+
+    def test_virtual_registers_supported(self):
+        g = graph([
+            Instr(Opcode.LI, dest=v(0), imm=1),
+            Instr(Opcode.ADD, dest=v(1), srcs=(v(0), Imm(2))),
+        ])
+        assert edge(g, 0, 1) == 1
+
+    def test_waw_edge(self):
+        g = graph([
+            Instr(Opcode.DIV, dest=r(5), srcs=(r(6), r(7))),
+            Instr(Opcode.LI, dest=r(5), imm=0),
+        ])
+        assert edge(g, 0, 1) == 10
+
+
+class TestDepGraphMemory:
+    def _load(self, dest, base, off, alias=None):
+        i = Instr(Opcode.LOAD, dest=r(dest), srcs=(r(base),), imm=off)
+        i.alias = alias
+        return i
+
+    def _store(self, val, base, off, alias=None):
+        i = Instr(Opcode.STORE, srcs=(r(val), r(base)), imm=off)
+        i.alias = alias
+        return i
+
+    def test_loads_reorder_freely(self):
+        g = graph([self._load(5, 10, 0), self._load(6, 11, 4)])
+        assert edge(g, 0, 1) is None
+
+    def test_store_load_same_unknown_base_conflict(self):
+        g = graph([self._store(5, 10, 0), self._load(6, 11, 0)])
+        assert edge(g, 0, 1) == 1
+
+    def test_same_base_different_offset_disambiguated(self):
+        g = graph([self._store(5, 10, 0), self._load(6, 10, 4)])
+        assert edge(g, 0, 1) is None
+
+    def test_same_base_same_offset_conflicts(self):
+        g = graph([self._store(5, 10, 0), self._load(6, 10, 0)])
+        assert edge(g, 0, 1) == 1
+
+    def test_base_redefinition_invalidates_disambiguation(self):
+        g = graph([
+            self._store(5, 10, 0),
+            Instr(Opcode.LI, dest=r(10), imm=99),
+            self._load(6, 10, 4),  # different offset but new base value
+        ])
+        assert edge(g, 0, 2) == 1
+
+    def test_alias_tags_disambiguate_across_bases(self):
+        g = graph([
+            self._store(5, 10, 0, alias=("global", "A")),
+            self._load(6, 11, 0, alias=("global", "B")),
+        ])
+        assert edge(g, 0, 1) is None
+
+    def test_same_alias_tag_conflicts(self):
+        g = graph([
+            self._store(5, 10, 0, alias=("global", "A")),
+            self._load(6, 11, 0, alias=("global", "A")),
+        ])
+        assert edge(g, 0, 1) == 1
+
+    def test_sp_base_is_stack_region(self):
+        g = graph([
+            self._store(5, 0, 3),                       # SP-relative
+            self._load(6, 11, 0, alias=("global", "A")),
+        ])
+        assert edge(g, 0, 1) is None
+
+
+class TestDepGraphConnects:
+    WINDOWS = {RClass.INT: [14, 15]}
+
+    def test_connect_feeds_consumer(self):
+        g = graph([
+            connect_use(RClass.INT, 14, 30),
+            Instr(Opcode.ADD, dest=r(5), srcs=(r(14), Imm(1))),
+        ], windows=self.WINDOWS)
+        assert edge(g, 0, 1) == 0  # zero-cycle connect
+
+    def test_one_cycle_connect_latency_edge(self):
+        g = graph([
+            connect_use(RClass.INT, 14, 30),
+            Instr(Opcode.ADD, dest=r(5), srcs=(r(14), Imm(1))),
+        ], connect=1, windows=self.WINDOWS)
+        assert edge(g, 0, 1) == 1
+
+    def test_window_accesses_resolve_to_physical_targets(self):
+        # Writing rp30 via window 14, then reading rp30 via window 15, must
+        # create a RAW edge even though the window indices differ.
+        g = graph([
+            connect_def(RClass.INT, 14, 30),
+            Instr(Opcode.LI, dest=r(14), imm=7),   # writes physical 30
+            connect_use(RClass.INT, 15, 30),
+            Instr(Opcode.ADD, dest=r(5), srcs=(r(15), Imm(0))),  # reads 30
+        ], windows=self.WINDOWS)
+        assert edge(g, 1, 3) == 1
+
+    def test_map_entry_waw_orders_connects(self):
+        g = graph([
+            connect_use(RClass.INT, 14, 30),
+            connect_use(RClass.INT, 14, 31),
+        ], windows=self.WINDOWS)
+        assert edge(g, 0, 1) == 0
+
+    def test_consumer_pinned_before_reconnect(self):
+        g = graph([
+            connect_use(RClass.INT, 14, 30),
+            Instr(Opcode.ADD, dest=r(5), srcs=(r(14), Imm(1))),
+            connect_use(RClass.INT, 14, 31),
+        ], windows=self.WINDOWS)
+        assert edge(g, 1, 2) == 0  # WAR on the map entry
+
+
+class TestDepGraphBarriers:
+    def test_call_is_barrier(self):
+        g = graph([
+            Instr(Opcode.LI, dest=r(5), imm=1),
+            Instr(Opcode.CALL, label="f"),
+            Instr(Opcode.LI, dest=r(6), imm=2),
+        ])
+        assert edge(g, 0, 1) is not None
+        assert edge(g, 1, 2) is not None
+
+    def test_terminator_anchored_last(self):
+        g = graph([
+            Instr(Opcode.LI, dest=r(5), imm=1),
+            Instr(Opcode.LI, dest=r(6), imm=2),
+            Instr(Opcode.BEQ, srcs=(r(5), r(6)), label="x"),
+        ])
+        assert edge(g, 0, 2) is not None
+        assert edge(g, 1, 2) is not None
+
+    def test_heights_reflect_critical_path(self):
+        g = graph([
+            Instr(Opcode.MUL, dest=r(5), srcs=(r(6), r(6))),   # 3
+            Instr(Opcode.ADD, dest=r(7), srcs=(r(5), Imm(1))),  # +1
+            Instr(Opcode.LI, dest=r(8), imm=0),                 # independent
+        ])
+        heights = g.heights()
+        assert heights[0] == 3  # the mul->add RAW edge dominates
+        assert heights[1] == 0  # sinks have height zero
+        assert heights[2] == 0
+
+
+class TestListScheduler:
+    def test_schedule_is_a_permutation(self):
+        instrs = [
+            Instr(Opcode.LI, dest=r(5), imm=1),
+            Instr(Opcode.MUL, dest=r(6), srcs=(r(5), r(5))),
+            Instr(Opcode.LI, dest=r(7), imm=2),
+            Instr(Opcode.ADD, dest=r(8), srcs=(r(6), r(7))),
+            Instr(Opcode.HALT),
+        ]
+        out = schedule_block_instrs(instrs, config(), None)
+        assert sorted(map(id, out)) == sorted(map(id, instrs))
+
+    def test_dependences_preserved(self):
+        instrs = [
+            Instr(Opcode.LI, dest=r(5), imm=1),
+            Instr(Opcode.ADD, dest=r(6), srcs=(r(5), Imm(1))),
+            Instr(Opcode.ADD, dest=r(7), srcs=(r(6), Imm(1))),
+            Instr(Opcode.HALT),
+        ]
+        out = schedule_block_instrs(instrs, config(), None)
+        order = {id(i): k for k, i in enumerate(out)}
+        assert order[id(instrs[0])] < order[id(instrs[1])]
+        assert order[id(instrs[1])] < order[id(instrs[2])]
+        assert out[-1].op is Opcode.HALT
+
+    def test_independent_work_fills_latency_shadow(self):
+        # A long divide followed by its consumer: independent LIs should be
+        # hoisted between them.
+        instrs = [
+            Instr(Opcode.DIV, dest=r(5), srcs=(r(6), r(7))),
+            Instr(Opcode.ADD, dest=r(8), srcs=(r(5), Imm(1))),
+            Instr(Opcode.LI, dest=r(9), imm=1),
+            Instr(Opcode.LI, dest=r(10), imm=2),
+            Instr(Opcode.HALT),
+        ]
+        out = schedule_block_instrs(instrs, config(issue=1), None)
+        positions = {id(i): k for k, i in enumerate(out)}
+        assert positions[id(instrs[2])] < positions[id(instrs[1])]
+        assert positions[id(instrs[3])] < positions[id(instrs[1])]
+
+    def test_tiny_blocks_untouched(self):
+        instrs = [Instr(Opcode.HALT)]
+        assert schedule_block_instrs(instrs, config(), None) == instrs

@@ -1,0 +1,513 @@
+"""Tests for the cycle-level simulator: timing, interlocks, RC decode path."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.isa import (
+    Imm,
+    Instr,
+    LatencyModel,
+    Opcode,
+    PhysReg,
+    RClass,
+    RegFileSpec,
+    connect_def,
+    connect_use,
+)
+from repro.rc import RCModel
+from repro.sim import (
+    MachineConfig,
+    Simulator,
+    assemble,
+    default_memory_channels,
+    paper_machine,
+    simulate,
+    unlimited_machine,
+)
+
+
+def r(n):
+    return PhysReg(RClass.INT, n)
+
+
+def f(n):
+    return PhysReg(RClass.FP, n)
+
+
+def li(dest, value):
+    return Instr(Opcode.LI, dest=r(dest), imm=value)
+
+
+def add(dest, a, b):
+    sa = r(a) if isinstance(a, int) else a
+    sb = r(b) if isinstance(b, int) else b
+    return Instr(Opcode.ADD, dest=r(dest), srcs=(sa, sb))
+
+
+def halt():
+    return Instr(Opcode.HALT)
+
+
+def config(issue=1, **kwargs):
+    defaults = dict(
+        issue_width=issue,
+        mem_channels=2,
+        int_spec=RegFileSpec(RClass.INT, 16, 16),
+        fp_spec=RegFileSpec(RClass.FP, 16, 16),
+    )
+    defaults.update(kwargs)
+    return MachineConfig(**defaults)
+
+
+def rc_config(issue=1, core=8, total=32, connect=0, **kwargs):
+    return config(
+        issue=issue,
+        int_spec=RegFileSpec(RClass.INT, core, total),
+        latency=LatencyModel(load=2, connect=connect),
+        **kwargs,
+    )
+
+
+class TestBasicExecution:
+    def test_li_add_store(self):
+        prog = assemble([
+            li(5, 20),
+            li(6, 22),
+            add(7, 5, 6),
+            Instr(Opcode.STORE, srcs=(r(7), Imm(0)), imm=100),
+            halt(),
+        ])
+        result = simulate(prog, config())
+        assert result.load_word(100) == 42
+
+    def test_single_issue_one_instruction_per_cycle(self):
+        prog = assemble([li(5 + i, i) for i in range(4)] + [halt()])
+        result = simulate(prog, config(issue=1))
+        assert result.cycles == 5
+        assert result.stats.instructions == 5
+
+    def test_wide_issue_packs_independent_instructions(self):
+        prog = assemble([li(5 + i, i) for i in range(4)] + [halt()])
+        result = simulate(prog, config(issue=8))
+        # four LIs + halt all independent: issue in one cycle
+        assert result.cycles == 1
+
+    def test_raw_dependence_stalls_for_latency(self):
+        # mul has latency 3: dependent consumer waits.
+        prog = assemble([
+            li(5, 6),
+            Instr(Opcode.MUL, dest=r(6), srcs=(r(5), r(5))),
+            add(7, 6, 6),
+            halt(),
+        ])
+        result = simulate(prog, config(issue=1))
+        # cycle0: li, cycle1: mul (r5 ready at 1), r6 ready at 4,
+        # cycle4: add, cycle5: halt -> 6 cycles total
+        assert result.cycles == 6
+        assert result.state.int_regs[7] == 72
+
+    def test_waw_interlock_blocks_second_writer(self):
+        prog = assemble([
+            li(5, 1),
+            Instr(Opcode.DIV, dest=r(6), srcs=(r(5), r(5))),  # latency 10
+            li(6, 9),   # WAW on r6: must wait for the divide
+            halt(),
+        ])
+        result = simulate(prog, config(issue=1))
+        assert result.cycles >= 11
+        assert result.state.int_regs[6] == 9
+
+    def test_int_arithmetic_matches_semantics(self):
+        prog = assemble([
+            li(5, -7),
+            li(6, 2),
+            Instr(Opcode.DIV, dest=r(7), srcs=(r(5), r(6))),
+            Instr(Opcode.REM, dest=r(8), srcs=(r(5), r(6))),
+            halt(),
+        ])
+        result = simulate(prog, config())
+        assert result.state.int_regs[7] == -3
+        assert result.state.int_regs[8] == -1
+
+    def test_fp_pipeline(self):
+        prog = assemble([
+            Instr(Opcode.LIF, dest=f(4), imm=1.5),
+            Instr(Opcode.LIF, dest=f(6), imm=2.5),
+            Instr(Opcode.FADD, dest=f(8), srcs=(f(4), f(6))),
+            Instr(Opcode.FSTORE, srcs=(f(8), Imm(0)), imm=50),
+            halt(),
+        ])
+        result = simulate(prog, config())
+        assert result.load_word(50) == pytest.approx(4.0)
+
+    def test_sp_initialized(self):
+        prog = assemble([
+            Instr(Opcode.STORE, srcs=(r(0), r(0)), imm=-1),
+            halt(),
+        ], initial_sp=1000)
+        result = simulate(prog, config())
+        assert result.load_word(999) == 1000
+
+
+class TestMemorySystem:
+    def test_load_latency_two_vs_four(self):
+        instrs = [
+            li(5, 100),
+            Instr(Opcode.LOAD, dest=r(6), srcs=(r(5),), imm=0),
+            add(7, 6, 6),
+            halt(),
+        ]
+        c2 = simulate(assemble(instrs), config(latency=LatencyModel(load=2)))
+        c4 = simulate(assemble(instrs), config(latency=LatencyModel(load=4)))
+        assert c4.cycles - c2.cycles == 2
+
+    def test_memory_channel_limit(self):
+        loads = [Instr(Opcode.LOAD, dest=r(5 + i), srcs=(Imm(100),), imm=i)
+                 for i in range(4)]
+        prog = assemble(loads + [halt()])
+        two = simulate(prog, config(issue=8, mem_channels=2))
+        four = simulate(prog, config(issue=8, mem_channels=4))
+        assert four.cycles < two.cycles
+        assert two.stats.mem_channel_stalls > 0
+
+    def test_load_does_not_pass_same_cycle_store(self):
+        prog = assemble([
+            li(5, 7),
+            Instr(Opcode.STORE, srcs=(r(5), Imm(0)), imm=200),
+            Instr(Opcode.LOAD, dest=r(6), srcs=(Imm(0),), imm=200),
+            halt(),
+        ])
+        result = simulate(prog, config(issue=8))
+        assert result.state.int_regs[6] == 7
+        # store and load cannot share a cycle: at least 3 cycles
+        assert result.cycles >= 3
+
+    def test_initial_memory_image(self):
+        prog = assemble([
+            Instr(Opcode.LOAD, dest=r(5), srcs=(Imm(0),), imm=300),
+            halt(),
+        ], initial_memory={300: 77})
+        assert simulate(prog, config()).state.int_regs[5] == 77
+
+
+class TestBranches:
+    def _loop_program(self, hint):
+        # r5 counts 3..0, loop body is one add.
+        return assemble([
+            li(5, 3),
+            li(6, 0),
+            # loop:
+            add(6, 6, 5),
+            Instr(Opcode.SUB, dest=r(5), srcs=(r(5), Imm(1))),
+            Instr(Opcode.BNEZ, srcs=(r(5),), label="loop", hint_taken=hint),
+            halt(),
+        ], labels={"loop": 2})
+
+    def test_loop_computes_correct_sum(self):
+        result = simulate(self._loop_program(True), config())
+        assert result.state.int_regs[6] == 6  # 3+2+1
+
+    def test_backward_branch_predicted_taken_by_default(self):
+        result = simulate(self._loop_program(None), config())
+        # taken twice (predicted), falls out once (mispredicted)
+        assert result.stats.mispredicts == 1
+
+    def test_wrong_hint_costs_cycles(self):
+        good = simulate(self._loop_program(True), config())
+        bad = simulate(self._loop_program(False), config())
+        assert bad.cycles > good.cycles
+        assert bad.stats.mispredicts == 2  # the two taken iterations
+
+    def test_extra_decode_stage_increases_mispredict_cost(self):
+        base = simulate(self._loop_program(False), config())
+        extra = simulate(self._loop_program(False),
+                         config(extra_decode_stage=True))
+        # two mispredicts, one extra cycle each
+        assert extra.cycles - base.cycles == 2
+
+    def test_taken_branch_ends_issue_group(self):
+        prog = assemble([
+            Instr(Opcode.JMP, label="next"),
+            li(5, 111),   # skipped
+            # next:
+            li(6, 7),
+            halt(),
+        ], labels={"next": 2})
+        result = simulate(prog, config(issue=8))
+        assert result.state.int_regs[5] == 0
+        assert result.state.int_regs[6] == 7
+        assert result.cycles == 2  # jmp | li+halt
+
+    def test_call_and_ret(self):
+        prog = assemble([
+            Instr(Opcode.CALL, label="fn"),
+            Instr(Opcode.STORE, srcs=(r(5), Imm(0)), imm=400),
+            halt(),
+            # fn:
+            li(5, 99),
+            Instr(Opcode.RET),
+        ], labels={"fn": 3})
+        result = simulate(prog, config())
+        assert result.load_word(400) == 99
+
+    def test_ret_without_call_faults(self):
+        prog = assemble([Instr(Opcode.RET)])
+        with pytest.raises(SimulationError, match="RA stack"):
+            simulate(prog, config())
+
+    def test_fall_off_end_faults(self):
+        prog = assemble([li(5, 1)])
+        with pytest.raises(SimulationError, match="fell off"):
+            simulate(prog, config())
+
+
+class TestRCDecodePath:
+    def test_connect_use_redirects_read(self):
+        cfg = rc_config()
+        prog = assemble([
+            li(5, 3),                        # writes core r5
+            connect_def(RClass.INT, 5, 20),  # writes of idx5 -> phys 20
+            li(5, 42),                       # actually writes phys 20
+            connect_use(RClass.INT, 6, 20),  # reads of idx6 -> phys 20
+            Instr(Opcode.STORE, srcs=(r(6), Imm(0)), imm=500),
+            halt(),
+        ])
+        result = simulate(prog, cfg)
+        assert result.load_word(500) == 42
+        assert result.state.int_regs[20] == 42
+
+    def test_model3_auto_reset_read_after_write(self):
+        # Section 3 example: after a def through a connected index, reads of
+        # the same index see the extended register without a connect-use.
+        cfg = rc_config()
+        prog = assemble([
+            connect_def(RClass.INT, 7, 25),
+            li(7, 13),                        # writes phys 25
+            add(6, 7, 7),                     # reads idx7 -> must see phys 25
+            li(7, 99),                        # write map was reset: core r7
+            Instr(Opcode.STORE, srcs=(r(6), Imm(0)), imm=501),
+            halt(),
+        ])
+        result = simulate(prog, cfg)
+        assert result.load_word(501) == 26
+        assert result.state.int_regs[25] == 13
+        assert result.state.int_regs[7] == 99
+
+    def test_no_reset_model_keeps_connections(self):
+        cfg = rc_config(rc_model=RCModel.NO_RESET)
+        prog = assemble([
+            connect_def(RClass.INT, 7, 25),
+            li(7, 13),     # phys 25
+            li(7, 14),     # still phys 25 (no write reset)
+            halt(),
+        ])
+        result = simulate(prog, cfg)
+        assert result.state.int_regs[25] == 14
+        assert result.state.int_regs[7] == 0
+
+    def test_read_write_reset_model(self):
+        cfg = rc_config(rc_model=RCModel.READ_WRITE_RESET)
+        prog = assemble([
+            connect_use(RClass.INT, 7, 25),
+            connect_def(RClass.INT, 7, 25),
+            li(7, 5),      # phys 25; both maps reset home afterwards
+            add(6, 7, 7),  # reads core r7 (0)
+            halt(),
+        ])
+        result = simulate(prog, cfg)
+        assert result.state.int_regs[6] == 0
+        assert result.state.int_regs[25] == 5
+
+    @staticmethod
+    def _forwarding_program():
+        # Fill cycle 0 with four independent LIs so the connect and its
+        # consumer both *want* to issue together in cycle 1.
+        return assemble([
+            li(5, 42),
+            li(1, 1),
+            li(2, 2),
+            li(3, 3),
+            connect_use(RClass.INT, 6, 5),   # alias idx6 -> phys 5
+            add(7, 6, 6),
+            halt(),
+        ])
+
+    def test_zero_cycle_connect_forwarding(self):
+        """With forwarding, a connect and its consumer share an issue cycle."""
+        result = simulate(self._forwarding_program(),
+                          rc_config(issue=4, connect=0))
+        assert result.state.int_regs[7] == 84
+        assert result.cycles == 2  # (4 LIs) | (connect, add, halt)
+
+    def test_one_cycle_connect_delays_consumer(self):
+        fast = simulate(self._forwarding_program(),
+                        rc_config(issue=4, connect=0))
+        slow = simulate(self._forwarding_program(),
+                        rc_config(issue=4, connect=1))
+        assert slow.cycles == fast.cycles + 1
+        assert slow.state.int_regs[7] == 84
+
+    def test_call_resets_map_to_home(self):
+        # Section 4.1: jsr resets the map so the callee sees core registers.
+        cfg = rc_config()
+        prog = assemble([
+            li(5, 7),                         # core r5 = 7
+            connect_use(RClass.INT, 5, 20),   # reads of idx5 -> phys 20 (=0)
+            Instr(Opcode.CALL, label="sub"),
+            halt(),
+            # sub: reads idx5 -> must be core r5 again after jsr reset
+            Instr(Opcode.STORE, srcs=(r(5), Imm(0)), imm=502),
+            Instr(Opcode.RET),
+        ], labels={"sub": 4})
+        result = simulate(prog, cfg)
+        assert result.load_word(502) == 7
+
+    def test_connect_rejected_without_rc_support(self):
+        prog = assemble([connect_use(RClass.INT, 1, 10), halt()])
+        with pytest.raises(SimulationError, match="without RC"):
+            Simulator(prog, config())
+
+    def test_unaddressable_register_rejected(self):
+        cfg = rc_config(core=8, total=32)
+        prog = assemble([li(9, 1), halt()])  # r9 not encodable with 8 core
+        with pytest.raises(SimulationError, match="not addressable"):
+            Simulator(prog, cfg)
+
+    def test_odd_fp_register_rejected(self):
+        prog = assemble([Instr(Opcode.LIF, dest=f(5), imm=1.0), halt()])
+        with pytest.raises(SimulationError, match="pair-aligned"):
+            Simulator(prog, config())
+
+    def test_connect_operand_out_of_range_rejected(self):
+        cfg = rc_config(core=8, total=32)
+        prog = assemble([connect_use(RClass.INT, 1, 99), halt()])
+        with pytest.raises(SimulationError, match="out of range"):
+            Simulator(prog, cfg)
+
+
+class TestTrapsAndPSW:
+    def _trap_program(self):
+        return assemble([
+            li(5, 7),
+            connect_use(RClass.INT, 5, 20),   # reads of idx5 -> phys20 (=0)
+            Instr(Opcode.TRAP, imm=3),
+            Instr(Opcode.STORE, srcs=(r(5), Imm(0)), imm=600),  # uses map
+            halt(),
+            # handler: store r5 (map bypassed -> core r5), then rte
+            Instr(Opcode.STORE, srcs=(r(5), Imm(0)), imm=601),
+            Instr(Opcode.RTE),
+        ], trap_handlers={3: 5})
+
+    def test_trap_bypasses_map_and_rte_restores(self):
+        result = simulate(self._trap_program(), rc_config())
+        # handler saw the core register (map disabled)
+        assert result.load_word(601) == 7
+        # after rte the map is re-enabled: idx5 reads phys 20 (= 0)
+        assert result.load_word(600) == 0
+
+    def test_unhandled_trap_faults(self):
+        prog = assemble([Instr(Opcode.TRAP, imm=9), halt()])
+        with pytest.raises(SimulationError, match="no handler"):
+            simulate(prog, rc_config())
+
+    def test_mfpsw_mtpsw(self):
+        cfg = rc_config()
+        prog = assemble([
+            Instr(Opcode.MFPSW, dest=r(5)),
+            li(6, 0),                      # PSW with map disabled
+            Instr(Opcode.MTPSW, srcs=(r(6),)),
+            Instr(Opcode.MFPSW, dest=r(7)),
+            halt(),
+        ])
+        result = simulate(prog, cfg)
+        assert result.state.int_regs[5] == 3   # map_enable | rc_mode
+        assert result.state.int_regs[7] == 0
+
+    def test_map_disable_gives_direct_core_access(self):
+        cfg = rc_config()
+        prog = assemble([
+            connect_use(RClass.INT, 5, 20),
+            li(6, 0),
+            Instr(Opcode.MTPSW, srcs=(r(6),)),   # disable map
+            li(5, 3),                            # direct core write
+            add(7, 5, 5),                        # direct core read
+            halt(),
+        ])
+        result = simulate(prog, cfg)
+        assert result.state.int_regs[7] == 6
+
+    def test_mfmap_reads_connection_info(self):
+        cfg = rc_config()
+        prog = assemble([
+            connect_use(RClass.INT, 5, 21),
+            Instr(Opcode.MFMAP, dest=r(6), imm=(RClass.INT, 5, "read")),
+            Instr(Opcode.MFMAP, dest=r(7), imm=(RClass.INT, 5, "write")),
+            halt(),
+        ])
+        result = simulate(prog, cfg)
+        assert result.state.int_regs[6] == 21
+        assert result.state.int_regs[7] == 5
+
+    def test_external_interrupt_delivery(self):
+        cfg = rc_config()
+        prog = assemble([
+            li(5, 1),
+            li(6, 2),
+            li(7, 3),
+            li(4, 4),
+            halt(),
+            # handler: mark memory and return
+            Instr(Opcode.STORE, srcs=(r(5), Imm(0)), imm=700),
+            Instr(Opcode.RTE),
+        ], trap_handlers={0: 5})
+        sim = Simulator(prog, cfg)
+        sim.schedule_interrupt(2, 0)
+        result = sim.run()
+        assert result.load_word(700) == 1
+        assert result.stats.interrupts == 1
+        assert result.state.int_regs[4] == 4  # program still completed
+
+    def test_context_switch_between_processes(self):
+        cfg = rc_config()
+        prog = assemble([connect_use(RClass.INT, 5, 20), halt()])
+        sim = Simulator(prog, cfg)
+        result = sim.run()
+        state = result.state
+        ctx = state.save_process_context()
+        assert ctx.is_extended_format
+        state.int_table.reset_home()
+        state.restore_process_context(ctx)
+        assert state.int_table.read_target(5) == 20
+
+
+class TestConfig:
+    def test_default_memory_channels(self):
+        assert default_memory_channels(2) == 2
+        assert default_memory_channels(4) == 2
+        assert default_memory_channels(8) == 4
+
+    def test_paper_machine_rc_class(self):
+        cfg = paper_machine(issue_width=4, int_core=16, rc_class=RClass.INT)
+        assert cfg.int_spec.has_rc
+        assert cfg.int_spec.extended == 240
+        assert not cfg.fp_spec.has_rc
+        assert cfg.mem_channels == 2
+
+    def test_unlimited_machine(self):
+        cfg = unlimited_machine(issue_width=8)
+        assert not cfg.has_rc
+        assert cfg.mem_channels == 4
+        assert cfg.int_spec.core > 1000
+
+    def test_redirect_penalty(self):
+        assert config().redirect_penalty == 1
+        assert config(extra_decode_stage=True).redirect_penalty == 2
+
+    def test_describe(self):
+        text = paper_machine(rc_class=RClass.INT, int_core=16).describe()
+        assert "int RC 16+240" in text
+
+    def test_invalid_issue_width(self):
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError):
+            config(issue=3)

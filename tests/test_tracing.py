@@ -1,0 +1,100 @@
+"""Tests for pipeline trace capture and rendering."""
+
+from repro.isa import Imm, Instr, Opcode, PhysReg, RClass, connect_use, rc_spec
+from repro.isa.registers import core_spec
+from repro.sim import MachineConfig, assemble, capture_trace
+
+
+def r(n):
+    return PhysReg(RClass.INT, n)
+
+
+def config(issue=4, **kw):
+    defaults = dict(issue_width=issue, mem_channels=2,
+                    int_spec=core_spec(RClass.INT, 16),
+                    fp_spec=core_spec(RClass.FP, 16))
+    defaults.update(kw)
+    return MachineConfig(**defaults)
+
+
+def small_program():
+    return assemble([
+        Instr(Opcode.LI, dest=r(5), imm=1),
+        Instr(Opcode.LI, dest=r(6), imm=2),
+        Instr(Opcode.ADD, dest=r(7), srcs=(r(5), r(6))),
+        Instr(Opcode.MUL, dest=r(8), srcs=(r(7), r(7))),
+        Instr(Opcode.HALT),
+    ])
+
+
+class TestCapture:
+    def test_event_count_matches_instruction_count(self):
+        trace = capture_trace(small_program(), config())
+        assert len(trace.events) == 5
+        assert not trace.truncated
+
+    def test_cycles_monotone_and_pcs_valid(self):
+        trace = capture_trace(small_program(), config())
+        cycles = [c for c, _ in trace.events]
+        assert cycles == sorted(cycles)
+        assert all(0 <= pc < 5 for _, pc in trace.events)
+
+    def test_truncation(self):
+        trace = capture_trace(small_program(), config(), limit=2)
+        assert trace.truncated
+        assert len(trace.events) == 2
+
+    def test_independent_lis_share_a_cycle(self):
+        trace = capture_trace(small_program(), config(issue=4))
+        assert trace.dual_issue_pairs(0, 1) == 1
+
+    def test_zero_cycle_connect_shares_cycle_with_consumer(self):
+        program = assemble([
+            Instr(Opcode.LI, dest=r(5), imm=42),
+            Instr(Opcode.LI, dest=r(1), imm=0),
+            Instr(Opcode.LI, dest=r(2), imm=0),
+            Instr(Opcode.LI, dest=r(3), imm=0),
+            connect_use(RClass.INT, 6, 5),
+            Instr(Opcode.ADD, dest=r(7), srcs=(r(6), r(6))),
+            Instr(Opcode.HALT),
+        ])
+        cfg = config(int_spec=rc_spec(RClass.INT, 16))
+        trace = capture_trace(program, cfg)
+        assert trace.dual_issue_pairs(4, 5) == 1
+
+
+class TestMetrics:
+    def test_utilization_bounds(self):
+        trace = capture_trace(small_program(), config())
+        assert 0.0 < trace.utilization() <= 1.0
+
+    def test_single_issue_utilization_is_full(self):
+        trace = capture_trace(small_program(), config(issue=1))
+        # one instruction per non-empty cycle
+        assert trace.utilization() == 1.0
+        assert trace.issue_group_sizes() == {1: 5}
+
+    def test_empty_trace(self):
+        from repro.sim.tracing import PipelineTrace
+        t = PipelineTrace(small_program(), config())
+        assert t.utilization() == 0.0
+        assert t.render() == "(empty trace window)"
+
+
+class TestRendering:
+    def test_render_marks_issue_groups(self):
+        trace = capture_trace(small_program(), config(issue=4))
+        text = trace.render()
+        lines = text.splitlines()
+        assert lines[0].startswith("|")
+        assert sum(1 for ln in lines if ln.startswith("|")) == \
+            len({c for c, _ in trace.events})
+
+    def test_render_window(self):
+        trace = capture_trace(small_program(), config())
+        text = trace.render(start=2, count=2)
+        assert len(text.splitlines()) == 2
+
+    def test_summary_mentions_utilization(self):
+        trace = capture_trace(small_program(), config())
+        assert "slot utilization" in trace.summary()

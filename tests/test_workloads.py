@@ -1,0 +1,99 @@
+"""Tests for the twelve benchmark kernels: reference checksums, determinism,
+and compile+simulate equivalence across machine configurations."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.ir import run_module, verify_module
+from repro.isa import RClass
+from repro.workloads import (
+    ALL_BENCHMARKS,
+    FP_BENCHMARKS,
+    INTEGER_BENCHMARKS,
+    build_workload,
+    workload,
+)
+
+
+class TestRegistry:
+    def test_paper_benchmark_lineup(self):
+        assert INTEGER_BENCHMARKS == (
+            "cccp", "cmp", "compress", "eqn", "eqntott", "espresso",
+            "grep", "lex", "yacc",
+        )
+        assert FP_BENCHMARKS == ("matrix300", "nasa7", "tomcatv")
+        assert len(ALL_BENCHMARKS) == 12
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigError):
+            workload("doom")
+
+    def test_kinds(self):
+        assert workload("grep").kind == "int"
+        assert workload("tomcatv").kind == "fp"
+
+
+@pytest.mark.parametrize("name", ALL_BENCHMARKS)
+class TestKernels:
+    def test_verifies(self, name):
+        verify_module(build_workload(name))
+
+    def test_matches_python_reference(self, name):
+        w = workload(name)
+        m = w.module()
+        got = run_module(m).load_word(m.global_addr("checksum"))
+        ref = w.reference_checksum(1)
+        if isinstance(ref, float):
+            assert got == pytest.approx(ref, rel=1e-12)
+        else:
+            assert got == ref
+
+    def test_deterministic(self, name):
+        w = workload(name)
+        r1 = run_module(w.module()).load_word(
+            w.module().global_addr("checksum"))
+        r2 = run_module(w.module()).load_word(
+            w.module().global_addr("checksum"))
+        assert r1 == r2
+
+    def test_nontrivial_dynamic_size(self, name):
+        result = run_module(build_workload(name))
+        assert result.steps > 3000, "kernel too small to be meaningful"
+
+    def test_uses_matching_register_class(self, name):
+        w = workload(name)
+        m = w.module()
+        kinds = {v.cls for fn in m.functions.values() for v in fn.vregs()}
+        if w.kind == "fp":
+            assert RClass.FP in kinds
+        else:
+            assert RClass.FP not in kinds
+
+
+@pytest.mark.parametrize("name", ALL_BENCHMARKS)
+def test_scale_two_changes_work(name):
+    small = run_module(build_workload(name, 1))
+    big = run_module(build_workload(name, 2))
+    assert big.steps > small.steps
+
+
+class TestGoldenPins:
+    """Checksum pinning: any change to a kernel, its inputs, or the
+    interpreter semantics must be deliberate (update golden_checksums.json
+    alongside the change)."""
+
+    def test_checksums_match_pinned_values(self):
+        import json
+        from pathlib import Path
+
+        pins = json.loads(
+            (Path(__file__).parent / "golden_checksums.json").read_text())
+        assert set(pins) == set(ALL_BENCHMARKS)
+        for name, pinned in pins.items():
+            m = workload(name).module()
+            got = run_module(m).load_word(m.global_addr("checksum"))
+            want = eval(pinned)  # repr of int or float
+            if isinstance(want, float):
+                assert got == pytest.approx(want, rel=1e-15), name
+            else:
+                assert got == want, name
