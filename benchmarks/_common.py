@@ -1,8 +1,8 @@
 """Shared infrastructure for the figure-regeneration benches.
 
 Each bench regenerates one table or figure of the paper through the
-experiment runner (compile + simulate sweeps, disk-cached under
-``.repro_cache``), prints the result table, and writes it to
+sweep executor (compile + simulate sweeps, parallel workers, disk-cached
+under ``.repro_cache``), prints the result table, and writes it to
 ``results/<figure>.txt`` so EXPERIMENTS.md can reference the latest run.
 
 Environment knobs:
@@ -10,6 +10,7 @@ Environment knobs:
 * ``REPRO_SCALE``  — input-size multiplier for every benchmark (default 1).
 * ``REPRO_BENCHMARKS`` — comma-separated benchmark subset (default: all 12).
 * ``REPRO_CACHE_DIR`` — cache directory (default ``.repro_cache``).
+* ``REPRO_JOBS`` — sweep worker processes (default: CPU count).
 """
 
 from __future__ import annotations
@@ -17,20 +18,25 @@ from __future__ import annotations
 import os
 from pathlib import Path
 
-from repro.experiments import ExperimentRunner
+from repro.experiments import ExperimentRunner, SweepExecutor
 from repro.experiments.report import FigureResult
 from repro.workloads import ALL_BENCHMARKS
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
-_runner: ExperimentRunner | None = None
+_runners: dict[tuple[str, str], ExperimentRunner] = {}
 
 
 def shared_runner() -> ExperimentRunner:
-    global _runner
-    if _runner is None:
-        _runner = ExperimentRunner()
-    return _runner
+    """One runner per (scale, cache-dir) environment, re-read per call so a
+    test changing ``REPRO_SCALE``/``REPRO_CACHE_DIR`` mid-session is not
+    pinned to the first value seen."""
+    key = (os.environ.get("REPRO_SCALE", "1"),
+           os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
+    runner = _runners.get(key)
+    if runner is None:
+        runner = _runners[key] = ExperimentRunner()
+    return runner
 
 
 def selected_benchmarks() -> tuple[str, ...]:
@@ -45,7 +51,7 @@ def emit(result: FigureResult) -> FigureResult:
     text = result.render()
     print()
     print(text)
-    RESULTS_DIR.mkdir(exist_ok=True)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     slug = result.fid.lower().replace(" ", "")
     (RESULTS_DIR / f"{slug}.txt").write_text(text + "\n")
     return result
@@ -53,9 +59,10 @@ def emit(result: FigureResult) -> FigureResult:
 
 def run_figure(benchmark_fixture, figure_fn) -> FigureResult:
     """Run one figure regeneration under pytest-benchmark (single round)."""
-    runner = shared_runner()
+    executor = SweepExecutor(runner=shared_runner())
     names = selected_benchmarks()
     result = benchmark_fixture.pedantic(
-        lambda: figure_fn(runner, benchmarks=names), rounds=1, iterations=1
+        lambda: executor.run_figure(figure_fn, benchmarks=names),
+        rounds=1, iterations=1,
     )
     return emit(result)

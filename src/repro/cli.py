@@ -8,6 +8,9 @@ Commands:
 * ``disasm <benchmark>`` — print the compiled machine code.
 * ``asm <file.s>`` — assemble a textual program and simulate it.
 * ``figures [name ...]`` — regenerate paper figures (default: all).
+* ``sweep [name ...]`` — regenerate figures through the parallel sweep
+  executor (``--jobs``/``REPRO_JOBS`` workers) with cache counters and
+  progress reporting.
 """
 
 from __future__ import annotations
@@ -17,7 +20,7 @@ import sys
 
 from repro.compiler import CompileOptions, OptOptions, compile_module
 from repro.compiler.regalloc.allocator import AllocationOptions
-from repro.experiments import ALL_FIGURES, ExperimentRunner
+from repro.experiments import ALL_FIGURES, ExperimentRunner, SweepExecutor
 from repro.isa import RClass
 from repro.isa.asmfmt import format_listing
 from repro.isa.asmparse import parse_program
@@ -184,6 +187,45 @@ def cmd_figures(args) -> int:
     return 0
 
 
+def cmd_sweep(args) -> int:
+    runner = ExperimentRunner(scale=args.scale)
+    names = args.names or list(ALL_FIGURES)
+    for name in names:
+        if name not in ALL_FIGURES:
+            print(f"unknown figure {name!r}; available: "
+                  f"{', '.join(ALL_FIGURES)}", file=sys.stderr)
+            return 2
+    benchmarks = (tuple(args.benchmarks.split(","))
+                  if args.benchmarks else ALL_BENCHMARKS)
+
+    def progress(done, total, result):
+        if not args.quiet:
+            state = ("hit" if result.from_cache
+                     else "error" if result.error else
+                     f"{result.elapsed:.2f}s")
+            print(f"  [{done}/{total}] {result.job.benchmark} "
+                  f"({state})", file=sys.stderr)
+
+    executor = SweepExecutor(runner=runner, jobs=args.jobs,
+                             progress=progress)
+    for name in names:
+        try:
+            fig = executor.run_figure(ALL_FIGURES[name],
+                                      benchmarks=benchmarks)
+        except RuntimeError as exc:
+            print(f"sweep {name} failed: {exc}", file=sys.stderr)
+            return 1
+        if args.format == "csv":
+            print(fig.to_csv())
+        elif args.format == "json":
+            print(fig.to_json())
+        else:
+            print(fig.render())
+            print()
+    print(executor.stats.summary(), file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -233,6 +275,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--format", default="text",
                    choices=("text", "csv", "json"))
     p.set_defaults(fn=cmd_figures)
+
+    p = sub.add_parser(
+        "sweep",
+        help="regenerate figures through the parallel sweep executor")
+    p.add_argument("names", nargs="*", metavar="figure")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes (default REPRO_JOBS or CPU count)")
+    p.add_argument("--scale", type=int, default=None)
+    p.add_argument("--benchmarks", default="",
+                   help="comma-separated benchmark subset")
+    p.add_argument("--format", default="text",
+                   choices=("text", "csv", "json"))
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-job progress lines")
+    p.set_defaults(fn=cmd_sweep)
     return parser
 
 

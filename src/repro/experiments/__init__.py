@@ -14,15 +14,28 @@ from repro.experiments.figures import (
     figure13,
     table1,
 )
+from repro.experiments.executor import (
+    JobResult,
+    SweepExecutor,
+    SweepJob,
+    SweepStats,
+    sweep_figures,
+)
 from repro.experiments.report import FigureResult, Series, geomean
-from repro.experiments.runner import ExperimentRunner, RunRecord
+from repro.experiments.runner import ExperimentRunner, RunRecord, code_fingerprint
 
 __all__ = [
     "ALL_FIGURES",
     "ExperimentRunner",
     "FigureResult",
+    "JobResult",
     "RunRecord",
     "Series",
+    "SweepExecutor",
+    "SweepJob",
+    "SweepStats",
+    "sweep_figures",
+    "code_fingerprint",
     "ablation_models",
     "ablation_unroll",
     "ablation_windows",

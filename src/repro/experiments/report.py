@@ -32,6 +32,9 @@ class FigureResult:
     title: str
     series: list[Series] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
+    #: one-line provenance footer (e.g. sweep cache counters), rendered
+    #: after the notes and carried through the JSON export.
+    footer: str | None = None
 
     def series_by_label(self, label: str) -> Series:
         for s in self.series:
@@ -84,6 +87,7 @@ class FigureResult:
                 "series": [s.label for s in self.series],
                 "rows": self.to_rows(),
                 "notes": self.notes,
+                "footer": self.footer,
             },
             indent=2,
         )
@@ -112,4 +116,6 @@ class FigureResult:
         lines.append(row)
         for note in self.notes:
             lines.append(f"  note: {note}")
+        if self.footer:
+            lines.append(f"  [{self.footer}]")
         return "\n".join(lines)

@@ -13,9 +13,12 @@ optimizations."
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
+import logging
 import os
 import pickle
+import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -29,6 +32,38 @@ from repro.workloads import workload
 #: Environment variable scaling every benchmark's input size.
 SCALE_ENV = "REPRO_SCALE"
 CACHE_ENV = "REPRO_CACHE_DIR"
+
+log = logging.getLogger(__name__)
+
+#: Packages whose source determines cached results: editing any file under
+#: them must invalidate every previously cached record.
+FINGERPRINT_PACKAGES = ("repro.compiler", "repro.sim", "repro.workloads",
+                        "repro.isa", "repro.ir", "repro.rc")
+
+_fingerprint_cache: str | None = None
+
+
+def code_fingerprint(refresh: bool = False) -> str:
+    """A short hash of the cycle-affecting source tree.
+
+    Every cache key embeds this fingerprint, so cached records invalidate
+    automatically whenever the compiler, simulator, or workload code
+    changes — no manual version bump to forget.
+    """
+    global _fingerprint_cache
+    if _fingerprint_cache is not None and not refresh:
+        return _fingerprint_cache
+    import importlib
+
+    digest = hashlib.sha256()
+    for pkg_name in FINGERPRINT_PACKAGES:
+        pkg = importlib.import_module(pkg_name)
+        for root in pkg.__path__:
+            for path in sorted(Path(root).rglob("*.py")):
+                digest.update(str(path.relative_to(root)).encode())
+                digest.update(path.read_bytes())
+    _fingerprint_cache = digest.hexdigest()[:16]
+    return _fingerprint_cache
 
 
 @dataclass(frozen=True)
@@ -67,12 +102,20 @@ class RunRecord:
 
 
 def _config_key(config: MachineConfig) -> str:
+    """A cache key covering *every* cycle-affecting configuration field.
+
+    The full latency field tuple is included (not just load/connect), plus
+    ``max_cycles``, so two configs differing in any latency or limit can
+    never share a cached record.
+    """
+    lat = "-".join(str(v) for v in config.latency.field_tuple())
     return (
         f"iw{config.issue_width}.mc{config.mem_channels}"
-        f".ld{config.latency.load}.cn{config.latency.connect}"
+        f".lat{lat}"
         f".int{config.int_spec.core}-{config.int_spec.total}"
         f".fp{config.fp_spec.core}-{config.fp_spec.total}"
         f".m{config.rc_model.value}.x{int(config.extra_decode_stage)}"
+        f".cy{config.max_cycles}"
     )
 
 
@@ -91,6 +134,10 @@ class ExperimentRunner:
         self.cache_dir = Path(cache_dir)
         self._memory: dict[str, RunRecord] = {}
         self._golden: dict[str, int | float] = {}
+        self._fingerprint = code_fingerprint()
+        #: cache traffic counters, surfaced by the sweep executor.
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     # -- caching ---------------------------------------------------------------
 
@@ -98,27 +145,55 @@ class ExperimentRunner:
         digest = hashlib.sha256(key.encode()).hexdigest()[:24]
         return self.cache_dir / f"{digest}.pkl"
 
+    @staticmethod
+    def _valid_record(record: object) -> bool:
+        """Reject old-schema pickles that unpickle but lack newer fields."""
+        if not isinstance(record, RunRecord):
+            return False
+        return all(hasattr(record, f.name)
+                   for f in dataclasses.fields(RunRecord))
+
     def _load(self, key: str) -> RunRecord | None:
         record = self._memory.get(key)
         if record is not None:
             return record
         path = self._cache_path(key)
-        if path.exists():
+        if not path.exists():
+            return None
+        try:
+            with path.open("rb") as fh:
+                record = pickle.load(fh)
+        except Exception:
+            record = None
+        if not self._valid_record(record):
+            # Corrupt or old-schema: delete so it is not re-parsed on
+            # every subsequent miss.
+            log.warning("discarding unreadable cache file %s", path)
             try:
-                with path.open("rb") as fh:
-                    record = pickle.load(fh)
-            except Exception:
-                return None
-            self._memory[key] = record
-            return record
-        return None
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self._memory[key] = record
+        return record
 
     def _store(self, key: str, record: RunRecord) -> None:
         self._memory[key] = record
         try:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
-            with self._cache_path(key).open("wb") as fh:
-                pickle.dump(record, fh)
+            # Atomic write (tmp + os.replace) so concurrent sweep workers
+            # can never observe a torn pickle.
+            fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(record, fh)
+                os.replace(tmp, self._cache_path(key))
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
         except OSError:
             pass  # caching is best-effort
 
@@ -134,15 +209,32 @@ class ExperimentRunner:
 
     # -- running -------------------------------------------------------------------
 
+    def cache_key(self, benchmark: str, config: MachineConfig,
+                  opt_level: str = "ilp", unroll_factor: int = 4,
+                  num_windows: int = 4) -> str:
+        """The cache key for one experiment, including the code fingerprint."""
+        return (f"{benchmark}.s{self.scale}.{_config_key(config)}"
+                f".o{opt_level}.u{unroll_factor}.w{num_windows}"
+                f".f{self._fingerprint}")
+
+    def cached(self, benchmark: str, config: MachineConfig,
+               **kwargs) -> RunRecord | None:
+        """Return the cached record for one experiment, or None (no compute,
+        no counter traffic)."""
+        return self._load(self.cache_key(benchmark, config, **kwargs))
+
     def run(self, benchmark: str, config: MachineConfig,
             opt_level: str = "ilp", unroll_factor: int = 4,
             num_windows: int = 4) -> RunRecord:
         """Compile and simulate one benchmark; cached."""
-        key = (f"{benchmark}.s{self.scale}.{_config_key(config)}"
-               f".o{opt_level}.u{unroll_factor}.w{num_windows}.v4")
+        key = self.cache_key(benchmark, config, opt_level=opt_level,
+                             unroll_factor=unroll_factor,
+                             num_windows=num_windows)
         record = self._load(key)
         if record is not None:
+            self.cache_hits += 1
             return record
+        self.cache_misses += 1
 
         w = workload(benchmark)
         module = w.module(self.scale)

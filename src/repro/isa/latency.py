@@ -14,12 +14,15 @@ Connect instructions have a configurable latency of 0 or 1 cycle
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 from repro.errors import ConfigError
 from repro.isa.opcodes import Category, Opcode, spec
 
-#: Fixed latencies per category; LOAD and CONNECT are configuration-dependent.
+#: Default latencies per category (Table 1); LOAD and CONNECT are the two
+#: the paper varies, but every class is an independently configurable
+#: :class:`LatencyModel` field so design-space sweeps can key on all of them.
 FIXED_LATENCIES: dict[Category, int] = {
     Category.INT_ALU: 1,
     Category.INT_MUL: 3,
@@ -43,11 +46,25 @@ class LatencyModel:
     """Maps opcodes to deterministic execution latencies.
 
     ``load`` is 2 or 4 cycles (the two configurations evaluated in the
-    paper); ``connect`` is 0 or 1 (section 2.4 / Figure 12).
+    paper); ``connect`` is 0 or 1 (section 2.4 / Figure 12).  The remaining
+    classes default to Table 1 but may be overridden for ablations; the
+    experiment cache keys on the full field tuple, so two models differing
+    in *any* latency are distinct configurations.
     """
 
     load: int = 2
     connect: int = 0
+    int_alu: int = 1
+    int_mul: int = 3
+    int_div: int = 10
+    branch: int = 1
+    store: int = 1
+    fp_alu: int = 3
+    fp_cvt: int = 3
+    fp_mul: int = 3
+    fp_div: int = 10
+    system: int = 1
+    misc: int = 1
 
     def __post_init__(self) -> None:
         if self.load not in VALID_LOAD_LATENCIES:
@@ -56,17 +73,22 @@ class LatencyModel:
             raise ConfigError(
                 f"connect latency must be one of {VALID_CONNECT_LATENCIES}"
             )
+        for f in dataclasses.fields(self):
+            if f.name in ("load", "connect"):
+                continue
+            if getattr(self, f.name) < 1:
+                raise ConfigError(f"{f.name} latency must be >= 1")
 
     def of_category(self, category: Category) -> int:
-        if category is Category.LOAD:
-            return self.load
-        if category is Category.CONNECT:
-            return self.connect
-        return FIXED_LATENCIES[category]
+        return getattr(self, category.name.lower())
 
     def of(self, op: Opcode) -> int:
         """Latency of *op* in cycles."""
         return self.of_category(spec(op).category)
+
+    def field_tuple(self) -> tuple[int, ...]:
+        """Every latency, in declared field order (for cache keys)."""
+        return tuple(getattr(self, f.name) for f in dataclasses.fields(self))
 
 
 def table1_rows(model: LatencyModel | None = None) -> list[tuple[str, str]]:

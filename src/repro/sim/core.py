@@ -256,6 +256,7 @@ class Simulator:
                 psw.map_enable = False
                 map_en = False
                 stats.interrupts += 1
+                stats.redirect_cycles += redirect
                 pc = handler
                 cycle += redirect
 
@@ -376,6 +377,7 @@ class Simulator:
                     pc = d.target if taken else pc + 1
                     advance = False
                     if mispredict:
+                        stats.redirect_cycles += redirect
                         next_cycle = cycle + 1 + redirect
                         break
                     if taken:
@@ -428,6 +430,7 @@ class Simulator:
                     map_en = False
                     pc = handler
                     advance = False
+                    stats.redirect_cycles += redirect
                     next_cycle = cycle + 1 + redirect
                     break
                 elif kind == K_RTE:
@@ -440,6 +443,7 @@ class Simulator:
                     map_en = psw.map_enable
                     pc = ret_pc
                     advance = False
+                    stats.redirect_cycles += redirect
                     next_cycle = cycle + 1 + redirect
                     break
                 elif kind == K_MFPSW:

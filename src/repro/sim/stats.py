@@ -19,12 +19,21 @@ class SimStats:
     branches: int = 0
     mispredicts: int = 0
     zero_issue_cycles: int = 0
+    #: cycles lost to misprediction/trap/interrupt redirects (the pipeline
+    #: refill penalty), so issue + zero-issue + redirect reconciles with
+    #: ``cycles``.
+    redirect_cycles: int = 0
     mem_channel_stalls: int = 0
     interrupts: int = 0
 
     @property
     def ipc(self) -> float:
         return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def issue_cycles(self) -> int:
+        """Cycles in which at least one instruction issued."""
+        return self.cycles - self.zero_issue_cycles - self.redirect_cycles
 
     def summary(self) -> str:
         lines = [
@@ -33,7 +42,9 @@ class SimStats:
             f"IPC                {self.ipc:.3f}",
             f"branches           {self.branches}"
             f" ({self.mispredicts} mispredicted)",
+            f"issue cycles       {self.issue_cycles}",
             f"zero-issue cycles  {self.zero_issue_cycles}",
+            f"redirect cycles    {self.redirect_cycles}",
             f"mem channel stalls {self.mem_channel_stalls}",
         ]
         overhead = {k: v for k, v in self.by_origin.items() if k is not None}

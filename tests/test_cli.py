@@ -95,6 +95,21 @@ class TestFigureExport:
         assert doc["figure"] == "Table 1"
 
 
+class TestSweep:
+    def test_sweep_figure_subset(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert main(["sweep", "figure7", "--benchmarks", "cmp",
+                     "--jobs", "1"]) == 0
+        captured = capsys.readouterr()
+        assert "cmp" in captured.out and "geomean" in captured.out
+        assert "[sweep:" in captured.out  # counters in the figure footer
+        assert "misses" in captured.err  # summary + progress on stderr
+        assert "[5/5]" in captured.err
+
+    def test_sweep_unknown_figure(self, capsys):
+        assert main(["sweep", "figure99"]) == 2
+
+
 class TestTraceCommand:
     def test_trace_output(self, capsys):
         assert main(["trace", "cmp", "--count", "8", "--issue", "2"]) == 0

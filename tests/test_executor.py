@@ -1,0 +1,283 @@
+"""Tests for the sweep executor and the reworked experiment cache layer.
+
+Covers the cache-key collision fix (full latency tuple + max_cycles),
+corrupt/old-schema cache eviction, automatic code-fingerprint
+invalidation, and serial/parallel sweep equivalence.
+"""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.experiments import (
+    ExperimentRunner,
+    SweepExecutor,
+    SweepJob,
+    code_fingerprint,
+    figure7,
+)
+from repro.experiments import executor as executor_mod
+from repro.experiments import runner as runner_mod
+from repro.experiments.runner import RunRecord, _config_key
+from repro.isa import LatencyModel
+from repro.sim import MachineConfig, paper_machine, unlimited_machine
+
+
+@pytest.fixture()
+def runner(tmp_path):
+    return ExperimentRunner(scale=1, cache_dir=tmp_path / "cache")
+
+
+def _cfg(**lat):
+    return MachineConfig(issue_width=2, latency=LatencyModel(**lat))
+
+
+class TestConfigKey:
+    def test_distinct_for_unkeyed_latency(self):
+        """Regression: configs differing only in a non-load/connect latency
+        must not collide (they previously shared one cache record)."""
+        a = _cfg()
+        b = _cfg(int_mul=5)
+        c = _cfg(fp_div=12)
+        keys = {_config_key(x) for x in (a, b, c)}
+        assert len(keys) == 3
+
+    def test_distinct_for_max_cycles(self):
+        a = MachineConfig(issue_width=2)
+        b = MachineConfig(issue_width=2, max_cycles=1_000_000)
+        assert _config_key(a) != _config_key(b)
+
+    def test_covers_every_latency_field(self):
+        base = _config_key(_cfg())
+        for f in dataclasses.fields(LatencyModel):
+            if f.name == "load":
+                other = _cfg(load=4)
+            elif f.name == "connect":
+                other = _cfg(connect=1)
+            else:
+                other = _cfg(**{f.name: getattr(LatencyModel(), f.name) + 1})
+            assert _config_key(other) != base, f.name
+
+    def test_distinct_cached_cycles(self, runner):
+        """The two keys must map to independently computed records."""
+        fast = runner.run("cmp", _cfg())
+        slow = runner.run("cmp", _cfg(int_alu=3))
+        assert fast.cycles != slow.cycles
+        # And both survive in the cache side by side.
+        assert runner.cached("cmp", _cfg()).cycles == fast.cycles
+        assert runner.cached("cmp", _cfg(int_alu=3)).cycles == slow.cycles
+
+
+class TestCacheHygiene:
+    def test_corrupt_cache_file_deleted_and_recomputed(self, runner):
+        cfg = _cfg()
+        rec = runner.run("cmp", cfg)
+        key = runner.cache_key("cmp", cfg)
+        path = runner._cache_path(key)
+        assert path.exists()
+        path.write_bytes(b"not a pickle")
+        fresh = ExperimentRunner(scale=1, cache_dir=runner.cache_dir)
+        assert fresh._load(key) is None
+        assert not path.exists()  # bad file evicted, not re-parsed forever
+        assert fresh.run("cmp", cfg) == rec
+        assert fresh.cache_misses == 1
+
+    def test_old_schema_pickle_rejected(self, runner, tmp_path):
+        cfg = _cfg()
+        runner.run("cmp", cfg)
+        key = runner.cache_key("cmp", cfg)
+        path = runner._cache_path(key)
+        # Simulate an old-schema record: unpickles fine but lacks fields.
+        state = dict(runner._memory[key].__dict__)
+        del state["mispredicts"]
+        stale = object.__new__(RunRecord)
+        stale.__dict__.update(state)
+        path.write_bytes(pickle.dumps(stale))
+        fresh = ExperimentRunner(scale=1, cache_dir=runner.cache_dir)
+        assert fresh._load(key) is None
+        assert not path.exists()
+
+    def test_atomic_store_leaves_no_tmp_files(self, runner):
+        runner.run("cmp", _cfg())
+        leftovers = list(runner.cache_dir.glob("*.tmp"))
+        assert leftovers == []
+
+    def test_hit_miss_counters(self, runner):
+        cfg = _cfg()
+        runner.run("cmp", cfg)
+        runner.run("cmp", cfg)
+        assert runner.cache_misses == 1
+        assert runner.cache_hits == 1
+
+
+class TestFingerprint:
+    def test_fingerprint_is_stable(self):
+        assert code_fingerprint() == code_fingerprint()
+
+    def test_fingerprint_tracks_source_edits(self, tmp_path, monkeypatch):
+        """Editing any fingerprinted source file must change the hash."""
+        import shutil
+
+        import repro.sim as sim_pkg
+
+        copy = tmp_path / "sim"
+        shutil.copytree(sim_pkg.__path__[0], copy)
+        before = code_fingerprint(refresh=True)
+        monkeypatch.setattr(sim_pkg, "__path__", [str(copy)])
+        assert code_fingerprint(refresh=True) == before  # same content
+        (copy / "core.py").write_text(
+            (copy / "core.py").read_text() + "\n# edited\n")
+        assert code_fingerprint(refresh=True) != before
+        monkeypatch.undo()
+        code_fingerprint(refresh=True)
+
+    def test_fingerprint_change_invalidates_cache(self, tmp_path, monkeypatch):
+        """Acceptance: a code change (monkeypatched fingerprint) makes
+        previously cached records invisible — no manual version bump."""
+        cfg = _cfg()
+        r1 = ExperimentRunner(scale=1, cache_dir=tmp_path / "c")
+        r1.run("cmp", cfg)
+
+        monkeypatch.setattr(runner_mod, "_fingerprint_cache", "deadbeef")
+        r2 = ExperimentRunner(scale=1, cache_dir=tmp_path / "c")
+        assert r2._fingerprint == "deadbeef"
+        assert r2.cached("cmp", cfg) is None
+        r2.run("cmp", cfg)
+        assert r2.cache_misses == 1 and r2.cache_hits == 0
+
+
+class TestSweepExecutor:
+    def _jobs(self):
+        return [
+            SweepJob("cmp", unlimited_machine(1), opt_level="scalar"),
+            SweepJob("cmp", _cfg()),
+            SweepJob("cmp", _cfg(int_alu=3)),
+            SweepJob("grep", _cfg()),
+        ]
+
+    def test_serial_executor_matches_runner(self, runner, tmp_path):
+        serial = ExperimentRunner(scale=1, cache_dir=tmp_path / "serial")
+        expected = [serial.run(j.benchmark, j.config, **j.kwargs())
+                    for j in self._jobs()]
+        ex = SweepExecutor(runner=runner, jobs=1)
+        results = ex.run(self._jobs())
+        assert [r.record for r in results] == expected
+        assert ex.stats.misses == 4 and ex.stats.hits == 0
+
+    def test_parallel_matches_serial_record_for_record(self, tmp_path):
+        serial = ExperimentRunner(scale=1, cache_dir=tmp_path / "serial")
+        expected = [serial.run(j.benchmark, j.config, **j.kwargs())
+                    for j in self._jobs()]
+        par_runner = ExperimentRunner(scale=1, cache_dir=tmp_path / "par")
+        ex = SweepExecutor(runner=par_runner, jobs=2)
+        results = ex.run(self._jobs())
+        assert [r.record for r in results] == expected
+        assert all(not r.from_cache for r in results)
+        # Second pass: everything a cache hit, no pool traffic.
+        again = SweepExecutor(runner=par_runner, jobs=2).run(self._jobs())
+        assert [r.record for r in again] == expected
+        assert all(r.from_cache for r in again)
+
+    def test_parallel_and_serial_caches_byte_identical(self, tmp_path):
+        """Acceptance: cold parallel run produces byte-identical RunRecords
+        (pickles) to the serial path."""
+        serial = ExperimentRunner(scale=1, cache_dir=tmp_path / "serial")
+        SweepExecutor(runner=serial, jobs=1).run(self._jobs())
+        par = ExperimentRunner(scale=1, cache_dir=tmp_path / "par")
+        SweepExecutor(runner=par, jobs=2).run(self._jobs())
+        serial_files = sorted(p.name for p in (tmp_path / "serial").iterdir())
+        par_files = sorted(p.name for p in (tmp_path / "par").iterdir())
+        assert serial_files == par_files
+        for name in serial_files:
+            assert ((tmp_path / "serial" / name).read_bytes()
+                    == (tmp_path / "par" / name).read_bytes())
+
+    def test_duplicate_jobs_computed_once(self, runner):
+        job = SweepJob("cmp", _cfg())
+        ex = SweepExecutor(runner=runner, jobs=2)
+        results = ex.run([job, job, job])
+        assert len(results) == 3
+        assert len({r.record.cycles for r in results}) == 1
+        assert runner.cache_misses == 1
+
+    def test_progress_callback_sees_every_job(self, runner):
+        seen = []
+        ex = SweepExecutor(runner=runner, jobs=1,
+                           progress=lambda done, total, res:
+                           seen.append((done, total, res.from_cache)))
+        ex.run(self._jobs())
+        assert [s[0] for s in seen] == [1, 2, 3, 4]
+        assert all(s[1] == 4 for s in seen)
+
+    def test_errors_are_reported_not_raised(self, runner):
+        ex = SweepExecutor(runner=runner, jobs=1)
+        results = ex.run([SweepJob("doom", _cfg())])
+        assert results[0].record is None
+        assert "doom" in results[0].error or "ConfigError" in results[0].error
+        assert ex.stats.errors == 1
+
+    def test_run_figure_footer_and_values(self, runner, tmp_path):
+        ex = SweepExecutor(runner=runner, jobs=1)
+        fig = ex.run_figure(figure7, benchmarks=("cmp",))
+        assert fig.footer is not None and "cache hits" in fig.footer
+        assert "[sweep:" in fig.render()
+        # The executor-driven figure matches the plain serial figure.
+        plain = figure7(
+            ExperimentRunner(scale=1, cache_dir=tmp_path / "plain"),
+            benchmarks=("cmp",))
+        assert [s.values for s in fig.series] == [
+            s.values for s in plain.series]
+
+    def test_collect_jobs_dedupes_baseline(self, runner):
+        ex = SweepExecutor(runner=runner, jobs=1)
+        jobs = ex.collect_jobs(figure7, benchmarks=("cmp",))
+        # 4 issue widths + 1 shared baseline, not 4 baselines.
+        assert len(jobs) == 5
+
+
+class TestBenchCommon:
+    @pytest.fixture()
+    def common(self, monkeypatch):
+        from pathlib import Path
+
+        monkeypatch.syspath_prepend(
+            str(Path(__file__).resolve().parent.parent / "benchmarks"))
+        import _common
+
+        monkeypatch.setattr(_common, "_runners", {})
+        return _common
+
+    def test_shared_runner_rekeys_on_env(self, common, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "a"))
+        r1 = common.shared_runner()
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "b"))
+        r2 = common.shared_runner()
+        assert r1 is not r2 and r1.cache_dir != r2.cache_dir
+        monkeypatch.setenv("REPRO_SCALE", "2")
+        r3 = common.shared_runner()
+        assert r3 is not r2 and r3.scale == 2
+        monkeypatch.setenv("REPRO_SCALE", "1")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "a"))
+        assert common.shared_runner() is r1  # memoized per env key
+
+    def test_emit_creates_missing_results_tree(self, common, monkeypatch,
+                                               tmp_path, capsys):
+        from repro.experiments import FigureResult, Series
+
+        target = tmp_path / "fresh" / "results"  # parent missing too
+        monkeypatch.setattr(common, "RESULTS_DIR", target)
+        fig = FigureResult("Figure X", "demo",
+                           [Series("a", {"cmp": 1.0})])
+        common.emit(fig)
+        assert (target / "figurex.txt").exists()
+
+
+class TestDefaultJobs:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert executor_mod.default_jobs() == 3
+        monkeypatch.setenv("REPRO_JOBS", "bogus")
+        assert executor_mod.default_jobs() >= 1
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        assert executor_mod.default_jobs() == 1

@@ -158,6 +158,44 @@ class TestStats:
         result = simulate(prog, cfg)
         assert result.stats.by_origin["connect"] == 1
 
+    def _mispredict_prog(self):
+        # forward taken branch: mispredicted under the not-taken default
+        return assemble([
+            Instr(Opcode.LI, dest=r(5), imm=0),
+            Instr(Opcode.BEQZ, srcs=(r(5),), label="skip"),
+            Instr(Opcode.LI, dest=r(6), imm=1),
+            Instr(Opcode.HALT),
+        ], labels={"skip": 3})
+
+    def test_redirect_cycles_counted(self):
+        result = simulate(self._mispredict_prog(), config())
+        stats = result.stats
+        assert stats.mispredicts == 1
+        assert stats.redirect_cycles == 1  # one-cycle redirect penalty
+
+    def test_redirect_cycles_with_extra_stage(self):
+        result = simulate(self._mispredict_prog(),
+                          config(extra_decode_stage=True))
+        assert result.stats.redirect_cycles == 2
+
+    def test_cycle_accounting_reconciles(self):
+        # issue + zero-issue + redirect cycles must cover every cycle.
+        prog = assemble([
+            Instr(Opcode.LI, dest=r(5), imm=4),
+            Instr(Opcode.DIV, dest=r(6), srcs=(r(5), r(5))),
+            Instr(Opcode.BEQZ, srcs=(r(5),), label="skip"),  # fwd, not taken
+            Instr(Opcode.LI, dest=r(7), imm=0),
+            Instr(Opcode.BEQZ, srcs=(r(7),), label="skip"),  # mispredicted
+            Instr(Opcode.ADD, dest=r(8), srcs=(r(6), Imm(1))),
+            Instr(Opcode.HALT),
+        ], labels={"skip": 5})
+        stats = simulate(prog, config()).stats
+        assert stats.redirect_cycles == 1
+        assert stats.issue_cycles > 0 and stats.zero_issue_cycles > 0
+        assert (stats.issue_cycles + stats.zero_issue_cycles
+                + stats.redirect_cycles == stats.cycles)
+        assert "redirect cycles" in stats.summary()
+
 
 class TestDecodeValidation:
     def test_branch_hint_defaults_backward_taken(self):
