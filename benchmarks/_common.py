@@ -57,9 +57,9 @@ def emit(result: FigureResult) -> FigureResult:
     return result
 
 
-def run_figure(benchmark_fixture, figure_fn) -> FigureResult:
+def run_figure(benchmark_fixture, figure_fn, **executor_kwargs) -> FigureResult:
     """Run one figure regeneration under pytest-benchmark (single round)."""
-    executor = SweepExecutor(runner=shared_runner())
+    executor = SweepExecutor(runner=shared_runner(), **executor_kwargs)
     names = selected_benchmarks()
     result = benchmark_fixture.pedantic(
         lambda: executor.run_figure(figure_fn, benchmarks=names),

@@ -1,0 +1,9 @@
+"""Ablation D (ours): CPI-stack cycle attribution with and without RC."""
+
+from repro.experiments import ablation_cpistack
+
+from _common import run_figure
+
+
+def test_ablation_cpistack(benchmark):
+    run_figure(benchmark, ablation_cpistack, collect_cpi=True)

@@ -7,21 +7,33 @@ Commands:
   machine; prints cycle counts, IPC, code-size accounting, verification.
 * ``disasm <benchmark>`` — print the compiled machine code.
 * ``asm <file.s>`` — assemble a textual program and simulate it.
+* ``trace <benchmark>`` — cycle-by-cycle issue trace; ``--format`` selects
+  text, Chrome trace-event JSON (Perfetto), Konata pipeline logs, or JSONL.
+* ``profile <benchmark>`` — per-pass compiler metrics plus the run's
+  CPI-stack cycle attribution.
 * ``figures [name ...]`` — regenerate paper figures (default: all).
 * ``sweep [name ...]`` — regenerate figures through the parallel sweep
   executor (``--jobs``/``REPRO_JOBS`` workers) with cache counters and
-  progress reporting.
+  progress reporting; ``--cpi`` adds aggregate cycle attribution.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.compiler import CompileOptions, OptOptions, compile_module
 from repro.compiler.regalloc.allocator import AllocationOptions
 from repro.experiments import ALL_FIGURES, ExperimentRunner, SweepExecutor
 from repro.isa import RClass
+from repro.observe import (
+    PassMetrics,
+    chrome_trace_json,
+    events_jsonl,
+    konata_log,
+    observe_run,
+)
 from repro.isa.asmfmt import format_listing
 from repro.isa.asmparse import parse_program
 from repro.rc import RCModel
@@ -158,10 +170,57 @@ def cmd_asm(args) -> int:
 
 def cmd_trace(args) -> int:
     _w, _module, config, out = _compile_benchmark(args)
-    trace = capture_trace(out.program, config, limit=args.limit)
-    print(trace.summary())
+    if args.format == "text":
+        trace = capture_trace(out.program, config, limit=args.limit)
+        print(trace.summary())
+        print()
+        print(trace.render(start=args.skip, count=args.count))
+        return 0
+    run = observe_run(out.program, config, limit=args.limit)
+    if args.format == "chrome":
+        text = chrome_trace_json(run)
+    elif args.format == "konata":
+        text = konata_log(run)
+    else:
+        text = events_jsonl(run)
+    if not text.endswith("\n"):
+        text += "\n"
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.format} trace to {args.output} "
+              f"({run.result.stats.cycles} cycles, "
+              f"{len(run.observer.events)} events)", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def cmd_profile(args) -> int:
+    w = workload(args.benchmark)
+    module = w.module(args.scale)
+    config = _build_machine(args, w.kind)
+    metrics = PassMetrics()
+    out = compile_module(module, config, _build_options(args),
+                         metrics=metrics)
+    run = observe_run(out.program, config, keep_events=args.forwards)
+    if args.json:
+        print(json.dumps({
+            "benchmark": w.name,
+            "machine": config.describe(),
+            "passes": metrics.to_rows(),
+            "cpi": run.stack.to_dict(),
+        }, indent=2))
+        return 0
+    print(f"benchmark  {w.name} ({w.kind}), scale {args.scale}")
+    print(f"machine    {config.describe()}")
     print()
-    print(trace.render(start=args.skip, count=args.count))
+    print("compiler passes:")
+    print(metrics.render())
+    print()
+    print(run.result.stats.summary())
+    print()
+    print(run.stack.render())
     return 0
 
 
@@ -207,7 +266,7 @@ def cmd_sweep(args) -> int:
                   f"({state})", file=sys.stderr)
 
     executor = SweepExecutor(runner=runner, jobs=args.jobs,
-                             progress=progress)
+                             progress=progress, collect_cpi=args.cpi)
     for name in names:
         try:
             fig = executor.run_figure(ALL_FIGURES[name],
@@ -263,9 +322,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--count", type=int, default=40,
                    help="number of issue events to display")
     p.add_argument("--limit", type=int, default=200_000)
+    p.add_argument("--format", default="text",
+                   choices=("text", "chrome", "konata", "jsonl"),
+                   help="text listing, Chrome trace-event JSON (Perfetto), "
+                        "Konata pipeline log, or JSONL events")
+    p.add_argument("-o", "--output", default=None,
+                   help="write the exported trace to this file")
     _machine_args(p)
     _compile_args(p)
     p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser(
+        "profile",
+        help="per-pass compiler metrics and CPI-stack cycle attribution")
+    p.add_argument("benchmark", choices=ALL_BENCHMARKS)
+    p.add_argument("--json", action="store_true",
+                   help="emit machine-readable JSON instead of tables")
+    p.add_argument("--forwards", action="store_true",
+                   help="keep the full event stream to count zero-cycle "
+                        "connect forwards (slower on large runs)")
+    _machine_args(p)
+    _compile_args(p)
+    p.set_defaults(fn=cmd_profile)
 
     p = sub.add_parser("figures", help="regenerate paper figures")
     p.add_argument("names", nargs="*", metavar="figure")
@@ -289,6 +367,9 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("text", "csv", "json"))
     p.add_argument("--quiet", action="store_true",
                    help="suppress per-job progress lines")
+    p.add_argument("--cpi", action="store_true",
+                   help="collect CPI stacks per job and append the "
+                        "aggregate cycle attribution to figure footers")
     p.set_defaults(fn=cmd_sweep)
     return parser
 

@@ -13,7 +13,7 @@ Two phases operate here:
 
 from __future__ import annotations
 
-from repro.compiler.frame import FrameLayout, InArg, LocalSlot, OutArg
+from repro.compiler.frame import FrameLayout, InArg, OutArg
 from repro.errors import CompileError
 from repro.ir.function import Function
 from repro.isa.instruction import Instr

@@ -42,6 +42,7 @@ from repro.compiler.sched.listsched import schedule_function
 from repro.ir.function import Module
 from repro.ir.interp import Interpreter, InterpResult, Profile
 from repro.isa.registers import RClass, UNLIMITED
+from repro.observe.passes import PassMetrics, maybe_measure
 from repro.sim.config import MachineConfig
 from repro.sim.program import MachineProgram
 
@@ -102,6 +103,9 @@ class CompileOutput:
     #: output must reproduce exactly these results (FP reassociation makes
     #: them differ from the original module's by rounding only).
     interp: InterpResult | None = None
+    #: Per-pass wall time and IR deltas, populated when the caller passed a
+    #: :class:`~repro.observe.passes.PassMetrics` to :func:`compile_module`.
+    metrics: PassMetrics | None = None
 
 
 def _call_graph_reachability(module: Module) -> dict[str, set[str]]:
@@ -129,27 +133,39 @@ def _call_graph_reachability(module: Module) -> dict[str, set[str]]:
 
 def compile_module(module: Module, config: MachineConfig,
                    options: CompileOptions | None = None,
-                   entry: str = "main") -> CompileOutput:
-    """Compile *module* for *config* and return the executable program."""
+                   entry: str = "main",
+                   metrics: PassMetrics | None = None) -> CompileOutput:
+    """Compile *module* for *config* and return the executable program.
+
+    When *metrics* is given, every pipeline stage is timed and its IR delta
+    recorded (see :mod:`repro.observe.passes`); collection never changes the
+    generated code.
+    """
     options = options or CompileOptions()
     work = copy.deepcopy(module)
-    optimize_module(work, options.opt)
-    interp_result = Interpreter(
-        work, step_limit=options.profile_step_limit
-    ).run(entry)
+    with maybe_measure(metrics, "optimize", work):
+        optimize_module(work, options.opt)
+    with maybe_measure(metrics, "profile", work):
+        interp_result = Interpreter(
+            work, step_limit=options.profile_step_limit
+        ).run(entry)
     profile = interp_result.profile
-    annotate_module(work)  # memory-region tags for scheduler disambiguation
+    with maybe_measure(metrics, "alias", work):
+        annotate_module(work)  # memory-region tags for disambiguation
 
-    for fn in work.functions.values():
-        if options.schedule:
-            # Prepass scheduling over *virtual* registers (the IMPACT-style
-            # phase order): with no false WAW/WAR dependences the scheduler
-            # freely overlaps independent work, which is precisely what
-            # "tends to increase the number of variables that are
-            # simultaneously live" (paper section 1) — the allocator then
-            # sees the scheduled order's higher register pressure.
-            schedule_function(fn, config, None)
-        lower_calls(fn)
+    if options.schedule:
+        # Prepass scheduling over *virtual* registers (the IMPACT-style
+        # phase order): with no false WAW/WAR dependences the scheduler
+        # freely overlaps independent work, which is precisely what
+        # "tends to increase the number of variables that are
+        # simultaneously live" (paper section 1) — the allocator then
+        # sees the scheduled order's higher register pressure.
+        with maybe_measure(metrics, "schedule-pre", work):
+            for fn in work.functions.values():
+                schedule_function(fn, config, None)
+    with maybe_measure(metrics, "lower-calls", work):
+        for fn in work.functions.values():
+            lower_calls(fn)
 
     shared = _SharedCounters()
     allocations: dict[str, AllocationResult] = {}
@@ -161,55 +177,72 @@ def compile_module(module: Module, config: MachineConfig,
     unlimited = config.int_spec.core >= UNLIMITED
     reach = _call_graph_reachability(work) if unlimited else None
 
-    for fn in work.functions.values():
-        result = allocate_function(
-            fn, profile, config.int_spec, config.fp_spec,
-            options.alloc, shared_counters=shared,
-        )
-        allocations[fn.name] = result
-        stats.spilled_vregs += len(result.spilled)
-        stats.extended_vregs += sum(
-            1 for r in result.assignment.values()
-            if r.num >= ext_threshold[r.cls]
-        )
-        if unlimited:
-            # Globally unique register ranges make callee clobbering
-            # impossible except through recursion: save a live register
-            # only when the callee can re-enter this function.
-            fname = fn.name
-            save_policy = lambda label, reg, f=fname: f in reach[label]
-        else:
-            save_policy = None
-        apply_allocation(fn, result, ext_threshold, save_policy)
-        insert_prologue_epilogue(fn, result.frame, result.callee_saves,
-                                 result.param_homes,
-                                 is_entry=fn.name == entry)
-        check_no_symbolic_offsets(fn)
+    with maybe_measure(metrics, "allocate", work):
+        for fn in work.functions.values():
+            result = allocate_function(
+                fn, profile, config.int_spec, config.fp_spec,
+                options.alloc, shared_counters=shared,
+            )
+            allocations[fn.name] = result
+            stats.spilled_vregs += len(result.spilled)
+            stats.extended_vregs += sum(
+                1 for r in result.assignment.values()
+                if r.num >= ext_threshold[r.cls]
+            )
 
-        tracked_indices: dict[RClass, list[int]] = {}
-        for cls in (RClass.INT, RClass.FP):
-            windows = result.windows.get(cls)
-            if windows:
-                spec = config.spec_for(cls)
-                steal_pool = [c for c in spec.allocatable_core()
-                              if c not in set(windows)]
-                insert_connects(fn, cls, ext_threshold[cls], windows,
-                                config.rc_model, steal_pool=steal_pool)
-                tracked_indices[cls] = windows + steal_pool
-            if not unlimited:
-                check_encodable(fn, cls, ext_threshold[cls])
+    with maybe_measure(metrics, "spill+frame", work):
+        for fn in work.functions.values():
+            result = allocations[fn.name]
+            if unlimited:
+                # Globally unique register ranges make callee clobbering
+                # impossible except through recursion: save a live register
+                # only when the callee can re-enter this function.
+                fname = fn.name
 
-        # Profile-driven static branch hints (paper section 5.2: extra
-        # branch opcodes "facilitate static branch prediction").
-        for block in fn.blocks:
-            term = block.terminator
-            if term is not None and term.is_cond_branch:
-                term.hint_taken = profile.predict_taken(fn.name, block.name)
+                def save_policy(label, reg, f=fname):
+                    return f in reach[label]
+            else:
+                save_policy = None
+            apply_allocation(fn, result, ext_threshold, save_policy)
+            insert_prologue_epilogue(fn, result.frame, result.callee_saves,
+                                     result.param_homes,
+                                     is_entry=fn.name == entry)
+            check_no_symbolic_offsets(fn)
 
-        if options.schedule:
-            schedule_function(fn, config, tracked_indices or None)
+    tracked_by_fn: dict[str, dict[RClass, list[int]]] = {}
+    with maybe_measure(metrics, "connect-insert", work):
+        for fn in work.functions.values():
+            result = allocations[fn.name]
+            tracked_indices: dict[RClass, list[int]] = {}
+            for cls in (RClass.INT, RClass.FP):
+                windows = result.windows.get(cls)
+                if windows:
+                    spec = config.spec_for(cls)
+                    steal_pool = [c for c in spec.allocatable_core()
+                                  if c not in set(windows)]
+                    insert_connects(fn, cls, ext_threshold[cls], windows,
+                                    config.rc_model, steal_pool=steal_pool)
+                    tracked_indices[cls] = windows + steal_pool
+                if not unlimited:
+                    check_encodable(fn, cls, ext_threshold[cls])
+            tracked_by_fn[fn.name] = tracked_indices
 
-    program = lower_module(work, entry=entry, name=module.name)
+            # Profile-driven static branch hints (paper section 5.2: extra
+            # branch opcodes "facilitate static branch prediction").
+            for block in fn.blocks:
+                term = block.terminator
+                if term is not None and term.is_cond_branch:
+                    term.hint_taken = profile.predict_taken(fn.name,
+                                                            block.name)
+
+    if options.schedule:
+        with maybe_measure(metrics, "schedule", work):
+            for fn in work.functions.values():
+                schedule_function(fn, config,
+                                  tracked_by_fn[fn.name] or None)
+
+    with maybe_measure(metrics, "layout", work):
+        program = lower_module(work, entry=entry, name=module.name)
     counts = program.static_counts()
     stats.total_instructions = len(program)
     stats.program_instructions = counts.get(None, 0)
@@ -219,4 +252,4 @@ def compile_module(module: Module, config: MachineConfig,
     stats.frame_instructions = counts.get("frame", 0)
     return CompileOutput(program=program, module=work, profile=profile,
                          stats=stats, allocations=allocations,
-                         interp=interp_result)
+                         interp=interp_result, metrics=metrics)

@@ -276,7 +276,8 @@ def apply_allocation(fn: Function, result: AllocationResult,
         return reg.num >= ext_threshold.get(reg.cls, 1 << 30)
 
     if save_policy is None:
-        save_policy = lambda label, reg: is_extended(reg)
+        def save_policy(label, reg):
+            return is_extended(reg)
 
     for block in fn.blocks:
         after = info.live_across_instr(block)

@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 
 from repro.isa.instruction import Instr
 from repro.isa.latency import LatencyModel
-from repro.isa.opcodes import Category, Opcode
+from repro.isa.opcodes import Opcode
 from repro.isa.registers import Imm, PhysReg, RClass
 from repro.rc.models import RCModel
 

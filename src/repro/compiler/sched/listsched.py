@@ -12,10 +12,7 @@ from __future__ import annotations
 
 from repro.compiler.sched.depgraph import DepGraph
 from repro.ir.function import Function
-from repro.isa.latency import LatencyModel
-from repro.isa.opcodes import Category
 from repro.isa.registers import RClass
-from repro.rc.models import RCModel
 from repro.sim.config import MachineConfig
 
 
@@ -55,7 +52,6 @@ def schedule_block_instrs(instrs: list, config: MachineConfig,
                 if instr.is_mem:
                     if mem_used >= channels:
                         continue
-                is_connect = instr.is_connect
                 # Issue node i at this cycle.
                 ready.remove(i)
                 order.append(i)

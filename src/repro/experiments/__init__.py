@@ -2,6 +2,7 @@
 
 from repro.experiments.figures import (
     ALL_FIGURES,
+    ablation_cpistack,
     ablation_models,
     ablation_unroll,
     ablation_windows,
@@ -36,6 +37,7 @@ __all__ = [
     "SweepStats",
     "sweep_figures",
     "code_fingerprint",
+    "ablation_cpistack",
     "ablation_models",
     "ablation_unroll",
     "ablation_windows",

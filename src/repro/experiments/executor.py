@@ -17,6 +17,7 @@ records identical to the serial path.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -25,6 +26,7 @@ from dataclasses import dataclass
 from repro.experiments.figures import ALL_FIGURES
 from repro.experiments.report import FigureResult
 from repro.experiments.runner import ExperimentRunner, RunRecord
+from repro.observe import merge_cpi, stall_mix_summary
 from repro.sim import MachineConfig
 from repro.workloads import ALL_BENCHMARKS
 
@@ -52,12 +54,15 @@ class SweepJob:
     opt_level: str = "ilp"
     unroll_factor: int = 4
     num_windows: int = 4
+    #: also collect the per-cause CPI stack (observer in aggregate mode).
+    collect_cpi: bool = False
 
     def kwargs(self) -> dict:
         return {
             "opt_level": self.opt_level,
             "unroll_factor": self.unroll_factor,
             "num_windows": self.num_windows,
+            "collect_cpi": self.collect_cpi,
         }
 
 
@@ -122,6 +127,10 @@ _DUMMY = RunRecord(
     total_static=1, program_static=1, spill_static=0, connect_static=0,
     callsave_static=0, spilled_vregs=0, extended_vregs=0, dyn_connects=0,
     dyn_spills=0, mispredicts=0,
+    cpi={"cycles": 1, "instructions": 1, "issue": 1, "raw_interlock": 0,
+         "map_busy": 0, "redirect": {}, "stall_by_origin": {},
+         "stall_by_category": {}, "stall_by_reg": {}, "mem_slot_stalls": 0,
+         "connects": 0, "zero_cycle_connects": 0, "zero_cycle_forwards": 0},
 )
 
 
@@ -132,17 +141,24 @@ class _JobCollector:
     def __init__(self, runner: ExperimentRunner) -> None:
         self._runner = runner
         self.jobs: list[SweepJob] = []
-        self._seen: set[str] = set()
+        self._seen: dict[str, int] = {}
 
     def run(self, benchmark: str, config: MachineConfig,
             opt_level: str = "ilp", unroll_factor: int = 4,
-            num_windows: int = 4) -> RunRecord:
+            num_windows: int = 4, collect_cpi: bool = False) -> RunRecord:
         job = SweepJob(benchmark, config, opt_level, unroll_factor,
-                       num_windows)
+                       num_windows, collect_cpi)
         key = self._runner.cache_key(benchmark, config, **job.kwargs())
         if key not in self._seen:
-            self._seen.add(key)
+            self._seen[key] = len(self.jobs)
             self.jobs.append(job)
+        elif collect_cpi:
+            # The same experiment was first requested without attribution:
+            # upgrade it so the prewarmed record satisfies both lookups.
+            index = self._seen[key]
+            if not self.jobs[index].collect_cpi:
+                self.jobs[index] = dataclasses.replace(self.jobs[index],
+                                                       collect_cpi=True)
         return _DUMMY
 
     def baseline_cycles(self, benchmark: str) -> int:
@@ -175,16 +191,24 @@ class SweepExecutor:
     """
 
     def __init__(self, runner: ExperimentRunner | None = None,
-                 jobs: int | None = None, progress=None) -> None:
+                 jobs: int | None = None, progress=None,
+                 collect_cpi: bool = False) -> None:
         self.runner = runner if runner is not None else ExperimentRunner()
         self.jobs = jobs if jobs is not None else default_jobs()
         self.progress = progress
+        #: collect per-job CPI stacks and append the aggregate stall-cause
+        #: composition to figure footers.
+        self.collect_cpi = collect_cpi
         self.stats = SweepStats(workers=max(1, self.jobs))
 
     # -- core fan-out -------------------------------------------------------------
 
     def run(self, jobs: list[SweepJob]) -> list[JobResult]:
         """Execute every job; returns results in input order."""
+        if self.collect_cpi:
+            jobs = [job if job.collect_cpi
+                    else dataclasses.replace(job, collect_cpi=True)
+                    for job in jobs]
         start = time.perf_counter()
         total = len(jobs)
         self.stats.jobs += total
@@ -290,7 +314,11 @@ class SweepExecutor:
         """The deduplicated job list a figure function would run."""
         collector = _JobCollector(self.runner)
         figure_fn(collector, benchmarks=benchmarks)
-        return collector.jobs
+        jobs = collector.jobs
+        if self.collect_cpi:
+            jobs = [dataclasses.replace(job, collect_cpi=True)
+                    for job in jobs]
+        return jobs
 
     def run_figure(self, figure_fn, benchmarks=ALL_BENCHMARKS
                    ) -> FigureResult:
@@ -313,6 +341,10 @@ class SweepExecutor:
             )
         fig = figure_fn(self.runner, benchmarks=benchmarks)
         fig.footer = self.stats.summary()
+        if self.collect_cpi:
+            merged = merge_cpi(r.record.cpi for r in job_results
+                               if r.record is not None)
+            fig.footer += "; " + stall_mix_summary(merged)
         return fig
 
 

@@ -280,6 +280,38 @@ def ablation_unroll(runner: ExperimentRunner,
     return fig
 
 
+def ablation_cpistack(runner: ExperimentRunner,
+                      benchmarks=ALL_BENCHMARKS) -> FigureResult:
+    """Ours: CPI stack — where each machine's cycles per instruction go.
+
+    For every benchmark, the no-RC and RC machines (4-issue, 2-cycle loads,
+    16/32 core registers) are decomposed into issue / RAW-interlock /
+    map-busy / redirect CPI contributions; stacking one machine's four
+    series reproduces its total CPI exactly (the attribution is reconciled
+    bit-exactly against ``SimStats`` by the observer layer)."""
+    fig = FigureResult(
+        "Ablation D",
+        "CPI stack by cycle cause (4-issue, 2-cycle loads, 16/32 cores); "
+        "stack one machine's series to recover its CPI",
+    )
+    components = ("issue", "raw_interlock", "map_busy", "redirect")
+    for rc in (False, True):
+        tag = "RC" if rc else "no"
+        series = {c: Series(f"{tag}-{c}") for c in components}
+        for name in benchmarks:
+            cfg = _fixed_pressure_config(name, rc=rc, issue=4, load=2)
+            cpi = runner.run(name, cfg, collect_cpi=True).cpi
+            instrs = cpi["instructions"] or 1
+            series["issue"].values[name] = cpi["issue"] / instrs
+            series["raw_interlock"].values[name] = (
+                cpi["raw_interlock"] / instrs)
+            series["map_busy"].values[name] = cpi["map_busy"] / instrs
+            series["redirect"].values[name] = (
+                sum(cpi["redirect"].values()) / instrs)
+        fig.series.extend(series.values())
+    return fig
+
+
 ALL_FIGURES = {
     "table1": lambda runner, benchmarks=ALL_BENCHMARKS: table1(),
     "figure7": figure7,
@@ -289,6 +321,7 @@ ALL_FIGURES = {
     "figure11": figure11,
     "figure12": figure12,
     "figure13": figure13,
+    "ablation_cpistack": ablation_cpistack,
     "ablation_models": ablation_models,
     "ablation_windows": ablation_windows,
     "ablation_unroll": ablation_unroll,

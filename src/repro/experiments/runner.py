@@ -26,7 +26,8 @@ from repro.compiler import CompileOptions, OptOptions, compile_module
 from repro.errors import SimulationError
 from repro.ir import run_module
 from repro.isa import RClass
-from repro.sim import MachineConfig, simulate, unlimited_machine
+from repro.observe import CPIStack, Observer
+from repro.sim import MachineConfig, Simulator, simulate, unlimited_machine
 from repro.workloads import workload
 
 #: Environment variable scaling every benchmark's input size.
@@ -85,6 +86,9 @@ class RunRecord:
     dyn_connects: int
     dyn_spills: int
     mispredicts: int
+    #: CPI-stack attribution (:meth:`repro.observe.CPIStack.to_dict`),
+    #: populated when the experiment ran with ``collect_cpi=True``.
+    cpi: dict | None = None
 
     @property
     def code_size_increase(self) -> float:
@@ -211,27 +215,43 @@ class ExperimentRunner:
 
     def cache_key(self, benchmark: str, config: MachineConfig,
                   opt_level: str = "ilp", unroll_factor: int = 4,
-                  num_windows: int = 4) -> str:
-        """The cache key for one experiment, including the code fingerprint."""
+                  num_windows: int = 4, collect_cpi: bool = False) -> str:
+        """The cache key for one experiment, including the code fingerprint.
+
+        ``collect_cpi`` is accepted but deliberately excluded: observation
+        has no effect on results (asserted by tests), so a record computed
+        with CPI attribution satisfies lookups without it and vice versa —
+        except that a CPI-requesting lookup of a CPI-less record recomputes
+        (see :meth:`run`).
+        """
+        del collect_cpi
         return (f"{benchmark}.s{self.scale}.{_config_key(config)}"
                 f".o{opt_level}.u{unroll_factor}.w{num_windows}"
                 f".f{self._fingerprint}")
 
     def cached(self, benchmark: str, config: MachineConfig,
-               **kwargs) -> RunRecord | None:
+               collect_cpi: bool = False, **kwargs) -> RunRecord | None:
         """Return the cached record for one experiment, or None (no compute,
         no counter traffic)."""
-        return self._load(self.cache_key(benchmark, config, **kwargs))
+        record = self._load(self.cache_key(benchmark, config, **kwargs))
+        if record is not None and collect_cpi and record.cpi is None:
+            return None
+        return record
 
     def run(self, benchmark: str, config: MachineConfig,
             opt_level: str = "ilp", unroll_factor: int = 4,
-            num_windows: int = 4) -> RunRecord:
-        """Compile and simulate one benchmark; cached."""
+            num_windows: int = 4, collect_cpi: bool = False) -> RunRecord:
+        """Compile and simulate one benchmark; cached.
+
+        ``collect_cpi=True`` attaches a per-cause cycle attribution
+        (:attr:`RunRecord.cpi`) collected by an aggregate-only observer; a
+        cached record without one is recomputed (and upgraded in place).
+        """
         key = self.cache_key(benchmark, config, opt_level=opt_level,
                              unroll_factor=unroll_factor,
                              num_windows=num_windows)
         record = self._load(key)
-        if record is not None:
+        if record is not None and (record.cpi is not None or not collect_cpi):
             self.cache_hits += 1
             return record
         self.cache_misses += 1
@@ -245,7 +265,12 @@ class ExperimentRunner:
             alloc=AllocationOptions(num_windows=num_windows),
         )
         out = compile_module(module, config, options)
-        result = simulate(out.program, config)
+        observer = None
+        if collect_cpi:
+            observer = Observer(keep_events=False)
+            result = Simulator(out.program, config, observer=observer).run()
+        else:
+            result = simulate(out.program, config)
         checksum_ok = True
         if self.verify_checksums:
             addr = module.global_addr("checksum")
@@ -291,6 +316,8 @@ class ExperimentRunner:
             dyn_connects=result.stats.by_origin.get("connect", 0),
             dyn_spills=result.stats.by_origin.get("spill", 0),
             mispredicts=result.stats.mispredicts,
+            cpi=(CPIStack.from_observer(observer, result.stats).to_dict()
+                 if observer is not None else None),
         )
         self._store(key, record)
         return record

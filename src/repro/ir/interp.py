@@ -20,7 +20,7 @@ from repro.errors import IRError, SimulationError
 from repro.ir.function import Function, Module
 from repro.isa.instruction import Instr
 from repro.isa.opcodes import Opcode
-from repro.isa.registers import Imm, RClass, VReg
+from repro.isa.registers import Imm, VReg
 from repro.isa.semantics import ALU_FUNCS, branch_taken, evaluate
 
 DEFAULT_STEP_LIMIT = 50_000_000

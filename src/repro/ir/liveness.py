@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.ir.cfg import predecessors, reverse_postorder
+from repro.ir.cfg import reverse_postorder
 from repro.ir.function import BasicBlock, Function
 from repro.isa.registers import VReg
 
@@ -53,7 +53,6 @@ class LivenessInfo:
 def liveness(fn: Function) -> LivenessInfo:
     """Compute per-block liveness for *fn*."""
     rpo = reverse_postorder(fn)
-    preds = predecessors(fn)
     use: dict[str, set[VReg]] = {}
     defs: dict[str, set[VReg]] = {}
     for name in rpo:

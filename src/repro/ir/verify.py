@@ -6,7 +6,7 @@ from repro.errors import IRError
 from repro.ir.function import Function, Module
 from repro.isa.instruction import Instr
 from repro.isa.opcodes import Opcode, spec
-from repro.isa.registers import Imm, PhysReg, RClass, VReg
+from repro.isa.registers import PhysReg, RClass, VReg
 
 _MIDBLOCK_CONTROL_OK = {Opcode.CALL, Opcode.TRAP, Opcode.RTE}
 

@@ -6,7 +6,7 @@ from typing import Iterable
 
 from repro.isa.instruction import Instr
 from repro.isa.opcodes import Opcode
-from repro.isa.registers import Imm, PhysReg, RClass, VReg
+from repro.isa.registers import Imm, RClass
 
 
 def _operand(o) -> str:

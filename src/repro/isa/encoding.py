@@ -36,7 +36,7 @@ from __future__ import annotations
 
 from repro.errors import ReproError
 from repro.isa.instruction import Instr
-from repro.isa.opcodes import Opcode, spec
+from repro.isa.opcodes import Opcode
 from repro.isa.registers import Imm, PhysReg, RClass
 
 REG_BITS = 5

@@ -10,7 +10,7 @@ handling and context switching (section 4).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.isa.registers import RClass
 

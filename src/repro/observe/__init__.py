@@ -1,0 +1,104 @@
+"""``repro.observe`` — structured tracing, CPI stacks, and trace exporters.
+
+The observability layer of the reproduction:
+
+* :mod:`repro.observe.events` — the typed event bus the simulator core emits
+  into (zero overhead when no observer is attached);
+* :mod:`repro.observe.cpistack` — per-cause cycle attribution, reconciled
+  bit-exactly against :class:`~repro.sim.stats.SimStats`;
+* :mod:`repro.observe.export` — Chrome trace-event JSON (Perfetto), Konata
+  pipeline-viewer logs, and JSONL event dumps;
+* :mod:`repro.observe.passes` — per-pass compiler wall time and IR deltas.
+
+:func:`observe_run` is the one-call entry point: simulate a program with an
+observer attached and get back the result, event stream, and validated CPI
+stack together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.observe.cpistack import (
+    CPIStack,
+    count_zero_cycle_forwards,
+    merge_cpi,
+    stall_mix_summary,
+)
+from repro.observe.events import (
+    STALL_MAP,
+    STALL_RAW,
+    ConnectEvent,
+    Event,
+    IssueEvent,
+    MapResetEvent,
+    MemStallEvent,
+    Observer,
+    RedirectEvent,
+    StallEvent,
+)
+from repro.observe.export import (
+    chrome_trace,
+    chrome_trace_json,
+    events_jsonl,
+    konata_log,
+)
+from repro.observe.passes import PassMetrics, PassRecord
+from repro.sim.config import MachineConfig
+from repro.sim.core import SimResult, Simulator
+from repro.sim.program import MachineProgram
+from repro.sim.stats import ReconcileError
+
+
+@dataclass
+class ObservedRun:
+    """A finished simulation plus its event stream and CPI stack."""
+
+    program: MachineProgram
+    config: MachineConfig
+    observer: Observer
+    result: SimResult
+    stack: CPIStack
+
+
+def observe_run(program: MachineProgram, config: MachineConfig,
+                keep_events: bool = True,
+                limit: int = 1_000_000) -> ObservedRun:
+    """Simulate *program* with an observer attached.
+
+    ``keep_events=False`` keeps only the aggregate counters (what the sweep
+    executor uses); the returned CPI stack is validated against the run's
+    :class:`~repro.sim.stats.SimStats` either way.
+    """
+    observer = Observer(keep_events=keep_events, limit=limit)
+    result = Simulator(program, config, observer=observer).run()
+    stack = CPIStack.from_observer(observer, result.stats, program=program)
+    return ObservedRun(program=program, config=config, observer=observer,
+                       result=result, stack=stack)
+
+
+__all__ = [
+    "CPIStack",
+    "ConnectEvent",
+    "Event",
+    "IssueEvent",
+    "MapResetEvent",
+    "MemStallEvent",
+    "ObservedRun",
+    "Observer",
+    "PassMetrics",
+    "PassRecord",
+    "ReconcileError",
+    "RedirectEvent",
+    "STALL_MAP",
+    "STALL_RAW",
+    "StallEvent",
+    "chrome_trace",
+    "chrome_trace_json",
+    "count_zero_cycle_forwards",
+    "events_jsonl",
+    "konata_log",
+    "merge_cpi",
+    "observe_run",
+    "stall_mix_summary",
+]

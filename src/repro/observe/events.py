@@ -1,0 +1,225 @@
+"""Typed per-cycle event stream from the simulator core.
+
+The :class:`Observer` is the event bus of the observability layer: the
+simulator core calls its ``on_*`` hooks at each microarchitectural event —
+instruction issue, CRAY-1 register-interlock stall (with the blocking
+register), mapping-table busy stall (a connect's effective latency, paper
+section 2.4), memory-channel structural stall, pipeline redirect
+(misprediction / trap / rte / interrupt), connect-instruction map mutation,
+and call/return map resets (section 4.1).
+
+Design constraints:
+
+* **zero overhead when disabled** — the core guards every hook behind a
+  single ``observer is not None`` test, so an unobserved simulation runs the
+  exact same instruction stream at the exact same speed as before the
+  subsystem existed;
+* **zero observer effect when enabled** — hooks only *read* simulation
+  state; enabling observation never changes cycle counts, instruction
+  counts, or program results (asserted by the CPI-stack property tests);
+* **cheap aggregate mode** — with ``keep_events=False`` the observer updates
+  online counters only and allocates no event objects, which is what the
+  sweep executor uses to collect per-job CPI stacks across whole figures.
+
+Events are plain frozen dataclasses so exporters and analyzers can pattern
+match on type; external listeners may also be attached with
+:meth:`Observer.subscribe`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.isa.registers import RClass
+
+#: Stall causes attributed by the interlock logic.
+STALL_RAW = "raw"        # a source/destination register write is in flight
+STALL_MAP = "map"        # a mapping-table entry update is in flight
+
+#: Redirect causes (pipeline refill penalties).
+REDIRECT_MISPREDICT = "mispredict"
+REDIRECT_TRAP = "trap"
+REDIRECT_RTE = "rte"
+REDIRECT_INTERRUPT = "interrupt"
+
+
+@dataclass(frozen=True, slots=True)
+class IssueEvent:
+    """One instruction issued in slot *slot* of cycle *cycle*."""
+
+    cycle: int
+    pc: int
+    slot: int
+
+
+@dataclass(frozen=True, slots=True)
+class StallEvent:
+    """A zero-issue interlock stall: the instruction at *pc* could not issue
+    for *duration* cycles because register (*rclass*, *index*) was busy."""
+
+    cycle: int
+    duration: int
+    pc: int
+    cause: str           # STALL_RAW or STALL_MAP
+    rclass: RClass
+    index: int
+    origin: str | None   # provenance of the *blocked* instruction
+    category: object     # Category of the blocked instruction
+
+
+@dataclass(frozen=True, slots=True)
+class MemStallEvent:
+    """A memory operation at *pc* hit the per-cycle channel limit; the issue
+    group ended early (slot-level structural stall, Figure 13)."""
+
+    cycle: int
+    pc: int
+
+
+@dataclass(frozen=True, slots=True)
+class RedirectEvent:
+    """A pipeline redirect charging *penalty* refill cycles."""
+
+    cycle: int
+    pc: int
+    cause: str           # REDIRECT_* constant
+    penalty: int
+
+
+@dataclass(frozen=True, slots=True)
+class ConnectEvent:
+    """A connect instruction mutated the register mapping table.
+
+    ``updates`` is the decoded ``(rclass, which, index, phys)`` tuple list;
+    ``zero_cycle`` is true when the machine forwards the new mapping to
+    same-cycle consumers (0-cycle connect latency, paper Figures 5/6)."""
+
+    cycle: int
+    pc: int
+    zero_cycle: bool
+    updates: tuple
+
+
+@dataclass(frozen=True, slots=True)
+class MapResetEvent:
+    """The mapping table was reset to home locations (call/return,
+    section 4.1) or bypassed for a handler (trap, section 4.3)."""
+
+    cycle: int
+    pc: int
+    cause: str           # "call", "ret", or "trap"
+
+
+Event = (IssueEvent | StallEvent | MemStallEvent | RedirectEvent
+         | ConnectEvent | MapResetEvent)
+
+
+class Observer:
+    """Collects simulator events and maintains online aggregate counters."""
+
+    __slots__ = (
+        "keep_events", "limit", "events", "truncated", "_listeners",
+        "issue_cycles", "instructions", "_last_issue_cycle",
+        "stall_by_cause", "stall_by_origin", "stall_by_category",
+        "stall_by_reg", "redirect_by_cause", "mem_slot_stalls",
+        "connects", "zero_cycle_connects", "map_resets",
+    )
+
+    def __init__(self, keep_events: bool = True,
+                 limit: int = 1_000_000) -> None:
+        self.keep_events = keep_events
+        self.limit = limit
+        self.events: list[Event] = []
+        self.truncated = False
+        self._listeners: list = []
+        # -- aggregate counters (always maintained) --
+        self.issue_cycles = 0
+        self.instructions = 0
+        self._last_issue_cycle = -1
+        self.stall_by_cause: Counter = Counter()
+        self.stall_by_origin: Counter = Counter()
+        self.stall_by_category: Counter = Counter()
+        self.stall_by_reg: Counter = Counter()
+        self.redirect_by_cause: Counter = Counter()
+        self.mem_slot_stalls = 0
+        self.connects = 0
+        self.zero_cycle_connects = 0
+        self.map_resets = 0
+
+    # -- event plumbing --------------------------------------------------------
+
+    def subscribe(self, listener) -> None:
+        """Attach ``listener(event)``, called for every emitted event.
+
+        Subscribing forces event-object construction even when
+        ``keep_events`` is false.
+        """
+        self._listeners.append(listener)
+
+    def _emit(self, event: Event) -> None:
+        if self.keep_events:
+            if len(self.events) < self.limit:
+                self.events.append(event)
+            else:
+                self.truncated = True
+        for listener in self._listeners:
+            listener(event)
+
+    def _wants_event(self) -> bool:
+        return self.keep_events or bool(self._listeners)
+
+    # -- hooks called by the simulator core ------------------------------------
+
+    def on_issue(self, cycle: int, pc: int, slot: int) -> None:
+        self.instructions += 1
+        if cycle != self._last_issue_cycle:
+            self._last_issue_cycle = cycle
+            self.issue_cycles += 1
+        if self._wants_event():
+            self._emit(IssueEvent(cycle, pc, slot))
+
+    def on_stall(self, cycle: int, duration: int, pc: int, cause: str,
+                 rclass: RClass, index: int, origin: str | None,
+                 category) -> None:
+        self.stall_by_cause[cause] += duration
+        self.stall_by_origin[origin] += duration
+        self.stall_by_category[category] += duration
+        self.stall_by_reg[(rclass, index)] += duration
+        if self._wants_event():
+            self._emit(StallEvent(cycle, duration, pc, cause, rclass, index,
+                                  origin, category))
+
+    def on_mem_stall(self, cycle: int, pc: int) -> None:
+        self.mem_slot_stalls += 1
+        if self._wants_event():
+            self._emit(MemStallEvent(cycle, pc))
+
+    def on_redirect(self, cycle: int, pc: int, cause: str,
+                    penalty: int) -> None:
+        self.redirect_by_cause[cause] += penalty
+        if self._wants_event():
+            self._emit(RedirectEvent(cycle, pc, cause, penalty))
+
+    def on_connect(self, cycle: int, pc: int, zero_cycle: bool,
+                   updates) -> None:
+        self.connects += 1
+        if zero_cycle:
+            self.zero_cycle_connects += 1
+        if self._wants_event():
+            self._emit(ConnectEvent(cycle, pc, zero_cycle, tuple(updates)))
+
+    def on_map_reset(self, cycle: int, pc: int, cause: str) -> None:
+        self.map_resets += 1
+        if self._wants_event():
+            self._emit(MapResetEvent(cycle, pc, cause))
+
+    # -- derived totals --------------------------------------------------------
+
+    @property
+    def stall_cycles(self) -> int:
+        return sum(self.stall_by_cause.values())
+
+    @property
+    def redirect_cycles(self) -> int:
+        return sum(self.redirect_by_cause.values())

@@ -1,0 +1,214 @@
+"""Trace exporters: Chrome trace-event JSON, Konata pipeline logs, JSONL.
+
+Three interchange formats over one :class:`~repro.observe.ObservedRun`:
+
+* :func:`chrome_trace` / :func:`chrome_trace_json` — the Chrome trace-event
+  format (``{"traceEvents": [...]}``), loadable in Perfetto
+  (https://ui.perfetto.dev) or ``chrome://tracing``.  Issue slots become
+  tracks; interlock stalls, redirects, and connect events get their own
+  lanes, so a Figure-13 memory-channel bottleneck is visible as a wall of
+  structural-stall markers.  One simulated cycle maps to one microsecond of
+  trace time.
+* :func:`konata_log` — the Kanata log format consumed by the Konata pipeline
+  viewer (https://github.com/shioyadan/Konata): per-dynamic-instruction
+  fetch/issue/execute stage bars with disassembly labels.
+* :func:`events_jsonl` — newline-delimited JSON, one event per line, for
+  ad-hoc analysis with ``jq``/pandas.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.isa.asmfmt import format_instr
+from repro.observe.events import (
+    ConnectEvent,
+    IssueEvent,
+    MapResetEvent,
+    MemStallEvent,
+    RedirectEvent,
+    StallEvent,
+)
+
+#: Synthetic pid for the simulated core in Chrome traces.
+_PID = 1
+
+
+def _event_payload(ev) -> dict:
+    """The JSONL representation of one event."""
+    if isinstance(ev, IssueEvent):
+        return {"type": "issue", "cycle": ev.cycle, "pc": ev.pc,
+                "slot": ev.slot}
+    if isinstance(ev, StallEvent):
+        return {"type": "stall", "cycle": ev.cycle, "duration": ev.duration,
+                "pc": ev.pc, "cause": ev.cause,
+                "reg": f"{ev.rclass.value}:{ev.index}",
+                "origin": ev.origin, "category": ev.category.name}
+    if isinstance(ev, MemStallEvent):
+        return {"type": "mem_stall", "cycle": ev.cycle, "pc": ev.pc}
+    if isinstance(ev, RedirectEvent):
+        return {"type": "redirect", "cycle": ev.cycle, "pc": ev.pc,
+                "cause": ev.cause, "penalty": ev.penalty}
+    if isinstance(ev, ConnectEvent):
+        return {"type": "connect", "cycle": ev.cycle, "pc": ev.pc,
+                "zero_cycle": ev.zero_cycle,
+                "updates": [[rclass.value, which, idx, phys]
+                            for rclass, which, idx, phys in ev.updates]}
+    if isinstance(ev, MapResetEvent):
+        return {"type": "map_reset", "cycle": ev.cycle, "pc": ev.pc,
+                "cause": ev.cause}
+    raise TypeError(f"unknown event {ev!r}")
+
+
+def events_jsonl(run) -> str:
+    """One JSON object per line, in simulation order."""
+    return "\n".join(json.dumps(_event_payload(ev))
+                     for ev in run.observer.events)
+
+
+# -- Chrome trace-event format ---------------------------------------------------
+
+
+def chrome_trace(run) -> dict:
+    """Build the trace-event document (Perfetto / chrome://tracing)."""
+    program = run.program
+    latency = run.config.latency
+    width = run.config.issue_width
+    stall_tid = width          # lane after the issue slots
+    redirect_tid = width + 1
+    connect_tid = width + 2
+
+    events: list[dict] = [
+        {"ph": "M", "pid": _PID, "name": "process_name",
+         "args": {"name": f"repro-sim {program.name}"}},
+    ]
+    for slot in range(width):
+        events.append({"ph": "M", "pid": _PID, "tid": slot,
+                       "name": "thread_name",
+                       "args": {"name": f"issue slot {slot}"}})
+    for tid, name in ((stall_tid, "interlock stalls"),
+                      (redirect_tid, "redirects"),
+                      (connect_tid, "map events")):
+        events.append({"ph": "M", "pid": _PID, "tid": tid,
+                       "name": "thread_name", "args": {"name": name}})
+
+    for ev in run.observer.events:
+        if isinstance(ev, IssueEvent):
+            instr = program.instrs[ev.pc]
+            events.append({
+                "ph": "X", "pid": _PID, "tid": ev.slot,
+                "ts": ev.cycle, "dur": max(1, latency.of(instr.op)),
+                "name": format_instr(instr), "cat": instr.category.name,
+                "args": {"pc": ev.pc, "origin": instr.origin or "program"},
+            })
+        elif isinstance(ev, StallEvent):
+            events.append({
+                "ph": "X", "pid": _PID, "tid": stall_tid,
+                "ts": ev.cycle, "dur": ev.duration,
+                "name": f"stall {ev.cause} {ev.rclass.value}{ev.index}",
+                "cat": "stall",
+                "args": {"pc": ev.pc, "blocked": format_instr(
+                    program.instrs[ev.pc])},
+            })
+        elif isinstance(ev, RedirectEvent):
+            events.append({
+                "ph": "X", "pid": _PID, "tid": redirect_tid,
+                "ts": ev.cycle + 1, "dur": ev.penalty,
+                "name": f"redirect {ev.cause}", "cat": "redirect",
+                "args": {"pc": ev.pc},
+            })
+        elif isinstance(ev, MemStallEvent):
+            events.append({
+                "ph": "i", "pid": _PID, "tid": stall_tid, "ts": ev.cycle,
+                "s": "t", "name": "mem channel full", "cat": "structural",
+                "args": {"pc": ev.pc},
+            })
+        elif isinstance(ev, ConnectEvent):
+            events.append({
+                "ph": "i", "pid": _PID, "tid": connect_tid, "ts": ev.cycle,
+                "s": "t",
+                "name": ("connect (0-cycle)" if ev.zero_cycle
+                         else "connect"),
+                "cat": "connect", "args": {"pc": ev.pc},
+            })
+        elif isinstance(ev, MapResetEvent):
+            events.append({
+                "ph": "i", "pid": _PID, "tid": connect_tid, "ts": ev.cycle,
+                "s": "t", "name": f"map reset ({ev.cause})", "cat": "connect",
+                "args": {"pc": ev.pc},
+            })
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "machine": run.config.describe(),
+            "cycles": run.result.stats.cycles,
+            "instructions": run.result.stats.instructions,
+        },
+    }
+
+
+def chrome_trace_json(run, indent: int | None = None) -> str:
+    return json.dumps(chrome_trace(run), indent=indent)
+
+
+# -- Konata (Kanata log) format --------------------------------------------------
+
+
+def konata_log(run) -> str:
+    """Render the run as a Kanata 0004 log for the Konata pipeline viewer.
+
+    Each dynamic instruction gets a one-cycle issue stage (``Is``) followed
+    by an execute stage (``Ex``) for its remaining latency; interlock stalls
+    appear as a pre-issue ``St`` stage on the instruction that was blocked.
+    """
+    program = run.program
+    latency = run.config.latency
+    issues = [ev for ev in run.observer.events if isinstance(ev, IssueEvent)]
+    #: pc -> pending stall duration for the next issue of that pc.
+    stalls: dict[int, list[StallEvent]] = {}
+    for ev in run.observer.events:
+        if isinstance(ev, StallEvent):
+            stalls.setdefault(ev.pc, []).append(ev)
+
+    # Per-cycle command lists, emitted in cycle order with C deltas.
+    by_cycle: dict[int, list[str]] = {}
+
+    def at(cycle: int, line: str) -> None:
+        by_cycle.setdefault(cycle, []).append(line)
+
+    for seq, ev in enumerate(issues):
+        instr = program.instrs[ev.pc]
+        start = ev.cycle
+        pending = stalls.get(ev.pc)
+        stall_ev = None
+        if pending and pending[0].cycle < ev.cycle:
+            stall_ev = pending.pop(0)
+            start = stall_ev.cycle
+        at(start, f"I\t{seq}\t{seq}\t0")
+        at(start, f"L\t{seq}\t0\t{format_instr(instr)}")
+        if stall_ev is not None:
+            at(start, f"S\t{seq}\t0\tSt")
+            at(ev.cycle, f"E\t{seq}\t0\tSt")
+        at(ev.cycle, f"S\t{seq}\t0\tIs")
+        lat = max(1, latency.of(instr.op))
+        end = ev.cycle + lat
+        if lat > 1:
+            at(ev.cycle + 1, f"E\t{seq}\t0\tIs")
+            at(ev.cycle + 1, f"S\t{seq}\t0\tEx")
+            at(end, f"E\t{seq}\t0\tEx")
+        else:
+            at(end, f"E\t{seq}\t0\tIs")
+        at(end, f"R\t{seq}\t{seq}\t0")
+
+    lines = ["Kanata\t0004"]
+    prev = None
+    for cycle in sorted(by_cycle):
+        if prev is None:
+            lines.append(f"C=\t{cycle}")
+        else:
+            lines.append(f"C\t{cycle - prev}")
+        prev = cycle
+        lines.extend(by_cycle[cycle])
+    return "\n".join(lines) + "\n"

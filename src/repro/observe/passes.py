@@ -1,0 +1,135 @@
+"""Compiler-side observability: per-pass wall time and IR deltas.
+
+A :class:`PassMetrics` instance is threaded through
+:func:`repro.compiler.pipeline.compile_module`; each stage runs inside
+:meth:`PassMetrics.measure`, which snapshots the module before and after —
+instruction count, distinct virtual registers, and compiler-inserted
+spill/connect/callsave instructions — and records wall time.  The resulting
+table answers "which pass is slow" and "which pass added that code"
+(Figure 9's static-overhead story, per pass instead of per program).
+
+This module deliberately imports nothing from :mod:`repro.compiler`: it
+inspects IR through the generic ``Module``/``Function`` iteration surface,
+so the compiler depends on it and not vice versa.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.isa.registers import VReg
+
+#: origins counted as compiler-inserted overhead (spill code, connects,
+#: caller saves of extended registers, frame setup).
+OVERHEAD_ORIGINS = ("spill", "connect", "callsave", "frame")
+
+
+@dataclass(frozen=True)
+class IRSnapshot:
+    """Counts describing a module at one point in the pipeline."""
+
+    instrs: int
+    vregs: int
+    overhead: dict
+
+    @classmethod
+    def of(cls, module) -> "IRSnapshot":
+        instrs = 0
+        vregs: set = set()
+        overhead = dict.fromkeys(OVERHEAD_ORIGINS, 0)
+        for fn in module.functions.values():
+            for _block, instr in fn.iter_instrs():
+                instrs += 1
+                if instr.origin in overhead:
+                    overhead[instr.origin] += 1
+                for reg in instr.regs():
+                    if isinstance(reg, VReg):
+                        vregs.add(reg)
+        return cls(instrs=instrs, vregs=len(vregs), overhead=overhead)
+
+
+@dataclass
+class PassRecord:
+    """Wall time and IR delta of one compiler pass."""
+
+    name: str
+    seconds: float
+    before: IRSnapshot
+    after: IRSnapshot
+
+    @property
+    def instr_delta(self) -> int:
+        return self.after.instrs - self.before.instrs
+
+    @property
+    def vreg_delta(self) -> int:
+        return self.after.vregs - self.before.vregs
+
+    @property
+    def spill_delta(self) -> int:
+        return self.after.overhead["spill"] - self.before.overhead["spill"]
+
+
+class PassMetrics:
+    """Collects :class:`PassRecord` entries across one compilation."""
+
+    def __init__(self) -> None:
+        self.records: list[PassRecord] = []
+
+    @contextmanager
+    def measure(self, name: str, module):
+        """Run a pass body, snapshotting *module* around it."""
+        before = IRSnapshot.of(module)
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.records.append(PassRecord(
+                name=name, seconds=elapsed,
+                before=before, after=IRSnapshot.of(module)))
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(r.seconds for r in self.records)
+
+    def to_rows(self) -> list[dict]:
+        """JSON-friendly rows (one per pass, pipeline order)."""
+        return [
+            {
+                "pass": r.name,
+                "seconds": r.seconds,
+                "instrs": r.after.instrs,
+                "instr_delta": r.instr_delta,
+                "vregs": r.after.vregs,
+                "vreg_delta": r.vreg_delta,
+                "spill_delta": r.spill_delta,
+            }
+            for r in self.records
+        ]
+
+    def render(self) -> str:
+        header = (f"{'pass':<18} {'time':>9} {'instrs':>8} {'Δinstr':>8} "
+                  f"{'vregs':>7} {'Δvreg':>7} {'Δspill':>7}")
+        lines = [header, "-" * len(header)]
+        for r in self.records:
+            lines.append(
+                f"{r.name:<18} {r.seconds * 1e3:>7.1f}ms "
+                f"{r.after.instrs:>8} {r.instr_delta:>+8} "
+                f"{r.after.vregs:>7} {r.vreg_delta:>+7} "
+                f"{r.spill_delta:>+7}"
+            )
+        lines.append(f"{'total':<18} {self.total_seconds * 1e3:>7.1f}ms")
+        return "\n".join(lines)
+
+
+@contextmanager
+def maybe_measure(metrics: PassMetrics | None, name: str, module):
+    """``metrics.measure`` when metrics are collected, else a no-op."""
+    if metrics is None:
+        yield
+    else:
+        with metrics.measure(name, module):
+            yield

@@ -30,7 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import SimulationError
-from repro.isa.opcodes import Category, Opcode
+from repro.isa.opcodes import Opcode
 from repro.isa.registers import Imm, PhysReg, RClass
 from repro.isa.semantics import ALU_FUNCS, BRANCH_FUNCS
 from repro.rc.psw import PSW
@@ -93,7 +93,7 @@ class Simulator:
     """Simulates one :class:`MachineProgram` on one machine configuration."""
 
     def __init__(self, program: MachineProgram, config: MachineConfig,
-                 trace_hook=None) -> None:
+                 trace_hook=None, observer=None) -> None:
         self.program = program
         self.config = config
         self.state = MachineState(config, program.initial_memory)
@@ -105,6 +105,10 @@ class Simulator:
         #: optional per-issue callback ``hook(cycle, pc)`` for debugging and
         #: pipeline visualization; adds overhead only when set.
         self.trace_hook = trace_hook
+        #: optional structured-event sink (:class:`repro.observe.Observer`);
+        #: hooks are guarded by a single ``is not None`` test and only read
+        #: simulation state, so observation never perturbs results.
+        self.observer = observer
 
     # -- decoding ---------------------------------------------------------------
 
@@ -171,6 +175,78 @@ class Simulator:
                 f"instr {index}: FP operand {reg!r} is not pair-aligned"
             )
 
+    # -- stall diagnosis (cold path, observer only) -------------------------------
+
+    def _blocking_source(self, d, cycle: int, map_en: bool):
+        """Identify which register set the interlock bound for *d*.
+
+        Mirrors the operand-resolution walk of :meth:`run` (first strict
+        maximum wins, in source-then-destination order) so the attributed
+        register is exactly the one whose ready time became ``next_cycle``.
+        Returns ``(cause, rclass, index)`` where cause is ``"map"`` for a
+        mapping-table entry still being updated by a connect in flight, or
+        ``"raw"`` for a register write in flight (CRAY-1 interlock).
+        """
+        state = self.state
+        iready, fready = self._iready, self._fready
+        itab, ftab = state.int_table, state.fp_table
+        imr_r, imr_w = self._imr_r, self._imr_w
+        fmr_r, fmr_w = self._fmr_r, self._fmr_w
+        ient, fent = len(imr_r), len(fmr_r)
+        best = cycle
+        found = ("raw", RClass.INT, 0)
+        for mode, payload in d.srcs:
+            if mode == _SRC_IMM:
+                continue
+            if mode == _SRC_INT:
+                if map_en and payload < ient:
+                    r = imr_r[payload]
+                    if r > best:
+                        best, found = r, ("map", RClass.INT, payload)
+                    phys = itab.read_map[payload]
+                else:
+                    phys = payload
+                r = iready[phys]
+                if r > best:
+                    best, found = r, ("raw", RClass.INT, phys)
+            else:
+                if map_en and payload < fent:
+                    r = fmr_r[payload]
+                    if r > best:
+                        best, found = r, ("map", RClass.FP, payload)
+                    phys = ftab.read_map[payload]
+                else:
+                    phys = payload
+                r = fready[phys]
+                if r > best:
+                    best, found = r, ("raw", RClass.FP, phys)
+        dest = d.dest
+        if dest is not None:
+            dest_is_int, num = dest
+            if dest_is_int:
+                if map_en and num < ient:
+                    r = imr_w[num]
+                    if r > best:
+                        best, found = r, ("map", RClass.INT, num)
+                    physd = itab.write_map[num]
+                else:
+                    physd = num
+                r = iready[physd]
+                if r > best:
+                    best, found = r, ("raw", RClass.INT, physd)
+            else:
+                if map_en and num < fent:
+                    r = fmr_w[num]
+                    if r > best:
+                        best, found = r, ("map", RClass.FP, num)
+                    physd = ftab.write_map[num]
+                else:
+                    physd = num
+                r = fready[physd]
+                if r > best:
+                    best, found = r, ("raw", RClass.FP, physd)
+        return found
+
     # -- interrupt injection (section 4.3) ----------------------------------------
 
     def schedule_interrupt(self, cycle: int, vector: int) -> None:
@@ -232,6 +308,7 @@ class Simulator:
         by_category = stats.by_category
         by_origin = stats.by_origin
 
+        obs = self.observer
         psw = state.psw
         map_en = psw.map_enable
         pc = self._pc
@@ -257,6 +334,9 @@ class Simulator:
                 map_en = False
                 stats.interrupts += 1
                 stats.redirect_cycles += redirect
+                if obs is not None:
+                    obs.on_redirect(cycle, pc, "interrupt", redirect)
+                    obs.on_map_reset(cycle, pc, "interrupt")
                 pc = handler
                 cycle += redirect
 
@@ -330,12 +410,19 @@ class Simulator:
                     # CRAY-1 interlock: in-order issue stalls here.
                     if issued == 0:
                         next_cycle = block
+                        if obs is not None:
+                            cause, rcls, ridx = self._blocking_source(
+                                d, cycle, map_en)
+                            obs.on_stall(cycle, block - cycle, pc, cause,
+                                         rcls, ridx, d.origin, d.category)
                     break
 
                 # ---- structural hazards ----
                 if kind == K_LOAD or kind == K_STORE:
                     if mem_used >= channels:
                         stats.mem_channel_stalls += 1
+                        if obs is not None:
+                            obs.on_mem_stall(cycle, pc)
                         break
                     if kind == K_LOAD and store_seen:
                         break  # conservative same-cycle store->load ordering
@@ -348,6 +435,8 @@ class Simulator:
                 by_origin[d.origin] += 1
                 if self.trace_hook is not None:
                     self.trace_hook(cycle, pc)
+                if obs is not None:
+                    obs.on_issue(cycle, pc, issued - 1)
                 if read_reset and map_en:
                     # Model 5 (READ_RESET): reads are one-shot connections.
                     for mode, payload in d.srcs:
@@ -374,6 +463,8 @@ class Simulator:
                     mispredict = taken != d.pred_taken
                     if mispredict:
                         stats.mispredicts += 1
+                        if obs is not None:
+                            obs.on_redirect(cycle, pc, "mispredict", redirect)
                     pc = d.target if taken else pc + 1
                     advance = False
                     if mispredict:
@@ -390,6 +481,8 @@ class Simulator:
                 elif kind == K_CALL:
                     state.ra_stack.append(pc + 1)
                     state.reset_maps_home()
+                    if obs is not None:
+                        obs.on_map_reset(cycle, pc, "call")
                     pc = d.target
                     advance = False
                     break
@@ -397,6 +490,8 @@ class Simulator:
                     if not state.ra_stack:
                         raise SimulationError("ret with empty RA stack")
                     state.reset_maps_home()
+                    if obs is not None:
+                        obs.on_map_reset(cycle, pc, "ret")
                     pc = state.ra_stack.pop()
                     advance = False
                     break
@@ -419,6 +514,8 @@ class Simulator:
                                 fmr_r[idx] = ready_at
                             else:
                                 fmr_w[idx] = ready_at
+                    if obs is not None:
+                        obs.on_connect(cycle, pc, connect_lat == 0, d.updates)
                     pc += 1
                     continue
                 elif kind == K_TRAP:
@@ -428,6 +525,9 @@ class Simulator:
                     state.trap_stack.append((psw.pack(), pc + 1))
                     psw.map_enable = False
                     map_en = False
+                    if obs is not None:
+                        obs.on_redirect(cycle, pc, "trap", redirect)
+                        obs.on_map_reset(cycle, pc, "trap")
                     pc = handler
                     advance = False
                     stats.redirect_cycles += redirect
@@ -441,6 +541,8 @@ class Simulator:
                     psw.map_enable = restored.map_enable
                     psw.rc_mode = restored.rc_mode
                     map_en = psw.map_enable
+                    if obs is not None:
+                        obs.on_redirect(cycle, pc, "rte", redirect)
                     pc = ret_pc
                     advance = False
                     stats.redirect_cycles += redirect

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 from repro.rc.context import ProcessContext, restore_context, save_context
 from repro.rc.mapping_table import MappingTable
 from repro.rc.psw import PSW

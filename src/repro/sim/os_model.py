@@ -22,7 +22,7 @@ models the shared physical register file.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import SimulationError
 from repro.rc.context import ProcessContext

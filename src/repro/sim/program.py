@@ -15,7 +15,7 @@ from repro.errors import CompileError
 from repro.ir.function import STACK_BASE
 from repro.isa.instruction import Instr
 from repro.isa.opcodes import Opcode
-from repro.isa.registers import Imm, PhysReg
+from repro.isa.registers import PhysReg
 
 
 @dataclass

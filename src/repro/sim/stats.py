@@ -6,6 +6,10 @@ from collections import Counter
 from dataclasses import dataclass, field
 
 
+class ReconcileError(AssertionError):
+    """Cycle/instruction accounting identities failed to reconcile."""
+
+
 @dataclass
 class SimStats:
     """Counters for one simulation run."""
@@ -35,6 +39,35 @@ class SimStats:
         """Cycles in which at least one instruction issued."""
         return self.cycles - self.zero_issue_cycles - self.redirect_cycles
 
+    def reconcile(self) -> "SimStats":
+        """Check the cycle/instruction accounting identities.
+
+        Raises :class:`ReconcileError` when any invariant is violated; used
+        by the CPI-stack analyzer and its tests as the independent side of
+        the bit-exact attribution check.  Returns ``self`` for chaining.
+        """
+        checks = []
+        if self.by_category:
+            checks.append(("per-category instruction counts",
+                           sum(self.by_category.values()), self.instructions))
+        if self.by_origin:
+            checks.append(("per-origin instruction counts",
+                           sum(self.by_origin.values()), self.instructions))
+        for label, got, want in checks:
+            if got != want:
+                raise ReconcileError(
+                    f"{label} sum to {got}, expected {want}")
+        if self.issue_cycles < 0:
+            raise ReconcileError(
+                f"zero-issue ({self.zero_issue_cycles}) + redirect "
+                f"({self.redirect_cycles}) cycles exceed total "
+                f"({self.cycles})")
+        if self.mispredicts > self.branches:
+            raise ReconcileError(
+                f"{self.mispredicts} mispredicts out of "
+                f"{self.branches} branches")
+        return self
+
     def summary(self) -> str:
         lines = [
             f"cycles             {self.cycles}",
@@ -46,7 +79,12 @@ class SimStats:
             f"zero-issue cycles  {self.zero_issue_cycles}",
             f"redirect cycles    {self.redirect_cycles}",
             f"mem channel stalls {self.mem_channel_stalls}",
+            f"interrupts         {self.interrupts}",
         ]
+        if self.by_category:
+            lines.append("instructions by class:")
+            for cat, count in self.by_category.most_common():
+                lines.append(f"  {cat.value:<14} {count}")
         overhead = {k: v for k, v in self.by_origin.items() if k is not None}
         if overhead:
             lines.append("overhead instructions:")

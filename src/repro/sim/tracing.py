@@ -16,6 +16,7 @@ from repro.isa.asmfmt import format_instr
 from repro.sim.config import MachineConfig
 from repro.sim.core import Simulator
 from repro.sim.program import MachineProgram
+from repro.sim.stats import SimStats
 
 
 @dataclass
@@ -26,6 +27,9 @@ class PipelineTrace:
     config: MachineConfig
     events: list[tuple[int, int]] = field(default_factory=list)  # (cycle, pc)
     truncated: bool = False
+    #: the run's statistics, attached by :func:`capture_trace` so callers
+    #: get counters and the trace from a single simulation.
+    stats: SimStats | None = None
 
     # -- metrics ---------------------------------------------------------------
 
@@ -37,7 +41,34 @@ class PipelineTrace:
             sizes[n] += 1
         return sizes
 
+    def elapsed_cycles(self) -> int:
+        """Total cycles the trace window spans.
+
+        The run's full cycle count when stats are attached (and the trace
+        was not truncated); otherwise the span of recorded events — the
+        best available bound for hand-built or truncated traces.
+        """
+        if self.stats is not None and not self.truncated:
+            return self.stats.cycles
+        if not self.events:
+            return 0
+        first = self.events[0][0]
+        last = self.events[-1][0]
+        return last - first + 1
+
     def utilization(self) -> float:
+        """Issued instructions / (elapsed cycles x issue width).
+
+        True slot utilization: zero-issue (stall and redirect) cycles count
+        against it.  See :meth:`issue_cycle_utilization` for the
+        issued-cycles-only view this method historically reported.
+        """
+        cycles = self.elapsed_cycles()
+        if not cycles:
+            return 0.0
+        return len(self.events) / (cycles * self.config.issue_width)
+
+    def issue_cycle_utilization(self) -> float:
         """Issued instructions / (non-empty cycles x issue width)."""
         if not self.events:
             return 0.0
@@ -81,9 +112,11 @@ class PipelineTrace:
         lines = [
             f"events            {len(self.events)}"
             + (" (truncated)" if self.truncated else ""),
+            f"elapsed cycles    {self.elapsed_cycles()}",
             f"non-empty cycles  {total_cycles}",
             f"slot utilization  {100 * self.utilization():.1f}% "
-            f"of {self.config.issue_width} slots/cycle",
+            f"of {self.config.issue_width} slots/cycle "
+            f"({100 * self.issue_cycle_utilization():.1f}% of issue cycles)",
             "issue-group sizes:",
         ]
         for size in sorted(sizes):
@@ -103,5 +136,6 @@ def capture_trace(program: MachineProgram, config: MachineConfig,
         else:
             trace.truncated = True
 
-    Simulator(program, config, trace_hook=hook).run()
+    result = Simulator(program, config, trace_hook=hook).run()
+    trace.stats = result.stats
     return trace

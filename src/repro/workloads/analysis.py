@@ -13,8 +13,7 @@ from dataclasses import dataclass
 
 from repro.ir.function import Module
 from repro.ir.interp import Interpreter
-from repro.isa.instruction import Instr
-from repro.isa.opcodes import Category, Opcode, spec
+from repro.isa.opcodes import Category, Opcode
 from repro.workloads.registry import workload
 
 

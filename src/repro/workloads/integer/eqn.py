@@ -98,9 +98,9 @@ def build(scale: int = 1) -> Module:
         b.store(res, b.add(pstk, sp), -1)
         b.jmp("advance")
 
-    binop("add_op", lambda l, r: b.add(l, r))
-    binop("sub_op", lambda l, r: b.sub(l, r))
-    binop("mul_op", lambda l, r: b.and_(b.mul(l, r), 0xFFFF))
+    binop("add_op", lambda lhs, rhs: b.add(lhs, rhs))
+    binop("sub_op", lambda lhs, rhs: b.sub(lhs, rhs))
+    binop("mul_op", lambda lhs, rhs: b.and_(b.mul(lhs, rhs), 0xFFFF))
 
     b.block("dup_op")
     b.br("beqz", sp, "advance")
@@ -130,13 +130,13 @@ def reference_checksum(scale: int = 1) -> int:
             stack.append(arg)
         elif op in (_OP_ADD, _OP_SUB, _OP_MUL):
             if len(stack) > 1:
-                r, l = stack.pop(), stack.pop()
+                rhs, lhs = stack.pop(), stack.pop()
                 if op == _OP_ADD:
-                    stack.append(l + r)
+                    stack.append(lhs + rhs)
                 elif op == _OP_SUB:
-                    stack.append(l - r)
+                    stack.append(lhs - rhs)
                 else:
-                    stack.append((l * r) & 0xFFFF)
+                    stack.append((lhs * rhs) & 0xFFFF)
         elif op == _OP_DUP:
             if stack:
                 stack.append(stack[-1])

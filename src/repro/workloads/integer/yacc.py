@@ -23,8 +23,13 @@ KIND = "int"
 #   value = 2 + 2*r        -> reduce by rule r
 #   value = -1             -> accept
 # rules: 0: E->E+T (3)  1: E->T (1)  2: T->T*F (3)  3: T->F (1)  4: F->n (1)
-_SHIFT = lambda s: 1 + 2 * s
-_REDUCE = lambda r: 2 + 2 * r
+def _SHIFT(s):
+    return 1 + 2 * s
+
+
+def _REDUCE(r):
+    return 2 + 2 * r
+
 _ACCEPT = -1
 
 _ACTION = [

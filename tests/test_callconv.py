@@ -15,7 +15,6 @@ from repro.errors import CompileError
 from repro.ir import FnBuilder, Module
 from repro.isa import (
     FP_RETVAL,
-    Imm,
     INT_RETVAL,
     Instr,
     Opcode,

@@ -116,3 +116,77 @@ class TestTraceCommand:
         out = capsys.readouterr().out
         assert "slot utilization" in out
         assert out.count("|") >= 2
+
+
+class TestTraceFormats:
+    def test_chrome_format_is_golden_json(self, capsys):
+        import json
+        assert main(["trace", "cmp", "--format", "chrome",
+                     "--issue", "2"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        process = next(e for e in meta if e["name"] == "process_name")
+        assert process["pid"] == 1
+        assert process["args"]["name"].startswith("repro-sim")
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+        assert doc["otherData"]["cycles"] > 0
+        assert "2-issue" in doc["otherData"]["machine"]
+
+    def test_konata_format(self, capsys):
+        assert main(["trace", "cmp", "--format", "konata",
+                     "--issue", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0] == "Kanata\t0004"
+
+    def test_jsonl_format(self, capsys):
+        import json
+        assert main(["trace", "cmp", "--format", "jsonl",
+                     "--issue", "2"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert lines
+        assert all("type" in json.loads(line) for line in lines[:50])
+
+    def test_output_file(self, tmp_path, capsys):
+        import json
+        target = tmp_path / "trace.json"
+        assert main(["trace", "cmp", "--format", "chrome",
+                     "-o", str(target)]) == 0
+        captured = capsys.readouterr()
+        assert str(target) in captured.err
+        assert json.loads(target.read_text())["traceEvents"]
+
+    def test_text_format_unchanged(self, capsys):
+        assert main(["trace", "cmp", "--format", "text", "--count", "8"]) == 0
+        assert "slot utilization" in capsys.readouterr().out
+
+
+class TestProfileCommand:
+    def test_text_output(self, capsys):
+        assert main(["profile", "cmp", "--issue", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "cycle attribution" in out
+        assert "optimize" in out and "schedule" in out  # pass table
+        assert "instructions by class:" in out  # stats summary
+
+    def test_json_output_reconciles(self, capsys):
+        import json
+        assert main(["profile", "cmp", "--rc", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["benchmark"] == "cmp"
+        assert [row["pass"] for row in doc["passes"]]
+        cpi = doc["cpi"]
+        assert cpi["issue"] + cpi["raw_interlock"] + cpi["map_busy"] \
+            + sum(cpi["redirect"].values()) == cpi["cycles"]
+
+    def test_forwards_flag(self, capsys):
+        assert main(["profile", "cmp", "--rc", "--int-core", "8",
+                     "--forwards"]) == 0
+        assert "zero-cycle" in capsys.readouterr().out
+
+
+class TestSweepCpi:
+    def test_sweep_cpi_footer(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert main(["sweep", "figure7", "--benchmarks", "cmp",
+                     "--jobs", "1", "--cpi"]) == 0
+        assert "cpi mix:" in capsys.readouterr().out

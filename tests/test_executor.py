@@ -21,7 +21,7 @@ from repro.experiments import executor as executor_mod
 from repro.experiments import runner as runner_mod
 from repro.experiments.runner import RunRecord, _config_key
 from repro.isa import LatencyModel
-from repro.sim import MachineConfig, paper_machine, unlimited_machine
+from repro.sim import MachineConfig, unlimited_machine
 
 
 @pytest.fixture()
@@ -281,3 +281,62 @@ class TestDefaultJobs:
         assert executor_mod.default_jobs() >= 1
         monkeypatch.setenv("REPRO_JOBS", "0")
         assert executor_mod.default_jobs() == 1
+
+
+class TestCpiCollection:
+    def test_run_attaches_validated_cpi_dict(self, runner):
+        rec = runner.run("cmp", _cfg(), collect_cpi=True)
+        cpi = rec.cpi
+        assert cpi is not None
+        assert cpi["issue"] + cpi["raw_interlock"] + cpi["map_busy"] \
+            + sum(cpi["redirect"].values()) == cpi["cycles"] == rec.cycles
+
+    def test_cpi_observation_does_not_change_the_record(self, runner,
+                                                        tmp_path):
+        plain = ExperimentRunner(scale=1, cache_dir=tmp_path / "plain")
+        a = plain.run("cmp", _cfg())
+        b = runner.run("cmp", _cfg(), collect_cpi=True)
+        assert (a.cycles, a.instructions, a.ipc) == \
+            (b.cycles, b.instructions, b.ipc)
+
+    def test_cpi_less_cache_record_upgraded_in_place(self, runner):
+        without = runner.run("cmp", _cfg())
+        assert without.cpi is None
+        assert runner.cached("cmp", _cfg(), collect_cpi=True) is None
+        upgraded = runner.run("cmp", _cfg(), collect_cpi=True)
+        assert upgraded.cpi is not None
+        assert upgraded.cycles == without.cycles
+        assert runner.cache_misses == 2
+        # The upgrade sticks: both flavours of lookup now hit.
+        assert runner.run("cmp", _cfg()).cpi is not None
+        assert runner.run("cmp", _cfg(), collect_cpi=True) is upgraded
+        assert runner.cache_misses == 2
+
+    def test_collect_jobs_upgrades_deduped_job(self, runner):
+        ex = SweepExecutor(runner=runner, jobs=1, collect_cpi=True)
+        jobs = ex.collect_jobs(figure7, benchmarks=("cmp",))
+        assert jobs and all(j.collect_cpi for j in jobs)
+
+    def test_executor_collects_cpi_per_job(self, runner):
+        ex = SweepExecutor(runner=runner, jobs=1, collect_cpi=True)
+        results = ex.run([SweepJob("cmp", _cfg())])
+        assert results[0].record.cpi is not None
+
+    def test_parallel_cpi_records_reach_parent_cache(self, tmp_path):
+        par = ExperimentRunner(scale=1, cache_dir=tmp_path / "par")
+        ex = SweepExecutor(runner=par, jobs=2, collect_cpi=True)
+        results = ex.run([SweepJob("cmp", _cfg()),
+                          SweepJob("grep", _cfg())])
+        assert all(r.record.cpi is not None for r in results)
+        assert par.cached("cmp", _cfg(), collect_cpi=True) is not None
+
+    def test_figure_footer_gets_cpi_mix(self, runner):
+        ex = SweepExecutor(runner=runner, jobs=1, collect_cpi=True)
+        fig = ex.run_figure(figure7, benchmarks=("cmp",))
+        assert "cpi mix:" in fig.footer
+        assert "issue" in fig.footer
+
+    def test_footer_unchanged_without_cpi(self, runner):
+        ex = SweepExecutor(runner=runner, jobs=1)
+        fig = ex.run_figure(figure7, benchmarks=("cmp",))
+        assert "cpi mix:" not in fig.footer

@@ -7,12 +7,13 @@ from repro.experiments import (
     ExperimentRunner,
     FigureResult,
     Series,
+    ablation_cpistack,
     ablation_unroll,
     figure7,
     geomean,
     table1,
 )
-from repro.experiments.figures import _config
+from repro.experiments.figures import _config, _fixed_pressure_config
 from repro.experiments.runner import RunRecord, _config_key
 from repro.isa import RClass
 from repro.sim import paper_machine, unlimited_machine
@@ -121,6 +122,22 @@ class TestFigures:
     def test_ablation_unroll_subset(self, runner):
         fig = ablation_unroll(runner, benchmarks=("cmp",))
         assert len(fig.series) == 6  # 3 unroll factors x with/without RC
+
+    def test_ablation_cpistack_subset(self, runner):
+        fig = ablation_cpistack(runner, benchmarks=("cmp",))
+        # 2 machines (no-RC / RC) x 4 cycle buckets, stacked per machine.
+        assert len(fig.series) == 8
+        labels = [s.label for s in fig.series]
+        assert "no-issue" in labels and "RC-raw_interlock" in labels
+        for tag in ("no", "RC"):
+            rec = runner.cached(
+                "cmp", _fixed_pressure_config("cmp", rc=(tag == "RC"),
+                                              issue=4, load=2),
+                collect_cpi=True)
+            stacked = sum(s.values["cmp"] for s in fig.series
+                          if s.label.startswith(f"{tag}-"))
+            assert stacked == pytest.approx(
+                rec.cpi["cycles"] / rec.cpi["instructions"])
 
 
 class TestExport:

@@ -278,7 +278,6 @@ class TestContainersEdges:
             m.function("main").instruction_count()
 
     def test_entry_of_empty_function_raises(self):
-        m = Module()
         from repro.ir import Function
         with pytest.raises(IRError):
             Function("empty").entry

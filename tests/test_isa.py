@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import ConfigError, SimulationFault
 from repro.isa import (
-    Category,
     Imm,
     Instr,
     LatencyModel,

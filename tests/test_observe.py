@@ -1,0 +1,441 @@
+"""Tests for the observability subsystem: the event bus the simulator core
+emits into, CPI-stack cycle attribution, the trace exporters, and compiler
+pass metrics.
+
+The acceptance property lives in :class:`TestObserverEffectAndReconcile`:
+for every benchmark x {no-RC, RC model 3} x issue {2, 4, 8}, the attributed
+cycle buckets sum exactly to ``SimStats.cycles`` and attaching an observer
+changes nothing (cycles, instructions, checksums).
+"""
+
+import json
+
+import pytest
+
+from repro.compiler import compile_module
+from repro.isa import (
+    Imm,
+    Instr,
+    LatencyModel,
+    Opcode,
+    PhysReg,
+    RClass,
+    connect_use,
+)
+from repro.isa.registers import core_spec, rc_spec
+from repro.observe import (
+    ConnectEvent,
+    CPIStack,
+    IssueEvent,
+    MapResetEvent,
+    MemStallEvent,
+    Observer,
+    PassMetrics,
+    ReconcileError,
+    RedirectEvent,
+    STALL_MAP,
+    StallEvent,
+    chrome_trace,
+    chrome_trace_json,
+    count_zero_cycle_forwards,
+    events_jsonl,
+    konata_log,
+    merge_cpi,
+    observe_run,
+    stall_mix_summary,
+)
+from repro.observe.passes import maybe_measure
+from repro.rc import RCModel
+from repro.sim import MachineConfig, Simulator, assemble, paper_machine, simulate
+from repro.workloads import ALL_BENCHMARKS, workload
+
+from helpers import sum_to_n_module
+
+
+def r(n):
+    return PhysReg(RClass.INT, n)
+
+
+def li(dest, value):
+    return Instr(Opcode.LI, dest=r(dest), imm=value)
+
+
+def config(issue=4, **kw):
+    defaults = dict(issue_width=issue, mem_channels=2,
+                    int_spec=core_spec(RClass.INT, 16),
+                    fp_spec=core_spec(RClass.FP, 16))
+    defaults.update(kw)
+    return MachineConfig(**defaults)
+
+
+def observed(instrs, cfg=None, labels=None, **obs_kw):
+    program = assemble(instrs, labels=labels or {})
+    cfg = cfg if cfg is not None else config()
+    obs = Observer(**obs_kw)
+    result = Simulator(program, cfg, observer=obs).run()
+    return program, cfg, obs, result
+
+
+class TestObserverEvents:
+    def test_issue_events_cover_every_instruction(self):
+        _p, _c, obs, result = observed([
+            li(5, 1), li(6, 2),
+            Instr(Opcode.ADD, dest=r(7), srcs=(r(5), r(6))),
+            Instr(Opcode.HALT),
+        ])
+        issues = [ev for ev in obs.events if isinstance(ev, IssueEvent)]
+        assert len(issues) == result.stats.instructions == 4
+        assert obs.instructions == 4
+        assert obs.issue_cycles == result.stats.issue_cycles
+
+    def test_raw_interlock_stall_names_blocking_register(self):
+        # MUL r7 takes 3 cycles; the dependent ADD stalls on r7.
+        _p, _c, obs, _res = observed([
+            li(5, 3), li(6, 4),
+            Instr(Opcode.MUL, dest=r(7), srcs=(r(5), r(6))),
+            Instr(Opcode.ADD, dest=r(8), srcs=(r(7), r(7))),
+            Instr(Opcode.HALT),
+        ], cfg=config(issue=1))
+        stalls = [ev for ev in obs.events if isinstance(ev, StallEvent)]
+        assert len(stalls) == 1
+        stall = stalls[0]
+        assert stall.cause == "raw"
+        assert (stall.rclass, stall.index) == (RClass.INT, 7)
+        assert stall.pc == 3  # the blocked ADD
+        assert stall.duration == 2  # MUL latency 3, back-to-back issue
+        assert obs.stall_by_reg[(RClass.INT, 7)] == 2
+        assert obs.stall_by_cause["raw"] == 2
+
+    def test_one_cycle_connect_is_slot_level_not_zero_issue(self):
+        # A 1-cycle connect delays its same-group consumer by one slot
+        # cycle, but the map is always ready by the next issue cycle, so
+        # no *zero-issue* map stall is ever recorded (map_busy == 0 in the
+        # CPI stack for connect latency <= 1 — asserted here, documented
+        # in EXPERIMENTS.md Ablation D).
+        instrs = [
+            li(1, 0), li(2, 0), li(3, 0), li(5, 42),
+            connect_use(RClass.INT, 6, 5),
+            Instr(Opcode.ADD, dest=r(7), srcs=(r(6), r(6))),
+            Instr(Opcode.HALT),
+        ]
+        runs = {}
+        for lat in (0, 1):
+            cfg = config(issue=4, int_spec=rc_spec(RClass.INT, 16),
+                         latency=LatencyModel(connect=lat))
+            _p, _c, obs, result = observed(instrs, cfg=cfg)
+            runs[lat] = result.cycles
+            assert obs.stall_by_cause[STALL_MAP] == 0
+        assert runs[1] == runs[0] + 1
+
+    def test_map_stall_counters_on_the_bus(self):
+        # The core's map-busy hook path, exercised at the bus level: the
+        # cause/origin/category/register counters all advance by duration.
+        obs = Observer()
+        obs.on_stall(7, 3, 12, STALL_MAP, RClass.INT, 6, "program",
+                     "int_alu")
+        stall = obs.events[0]
+        assert isinstance(stall, StallEvent) and stall.cause == STALL_MAP
+        assert obs.stall_by_cause[STALL_MAP] == 3
+        assert obs.stall_by_origin["program"] == 3
+        assert obs.stall_by_category["int_alu"] == 3
+        assert obs.stall_by_reg[(RClass.INT, 6)] == 3
+        assert obs.stall_cycles == 3
+
+    def test_zero_cycle_connect_event_and_forward_count(self):
+        cfg = config(int_spec=rc_spec(RClass.INT, 16))
+        program, _c, obs, _res = observed([
+            li(5, 42), li(1, 0), li(2, 0), li(3, 0),
+            connect_use(RClass.INT, 6, 5),
+            Instr(Opcode.ADD, dest=r(7), srcs=(r(6), r(6))),
+            Instr(Opcode.HALT),
+        ], cfg=cfg)
+        connects = [ev for ev in obs.events if isinstance(ev, ConnectEvent)]
+        assert len(connects) == 1
+        assert connects[0].zero_cycle
+        assert connects[0].updates == ((RClass.INT, "read", 6, 5),)
+        assert obs.connects == 1 and obs.zero_cycle_connects == 1
+        assert count_zero_cycle_forwards(obs.events, program) == 1
+
+    def test_mispredict_redirect_event(self):
+        # Backward branch hinted not-taken: both taken iterations mispredict.
+        _p, _c, obs, result = observed([
+            li(5, 3), li(6, 0),
+            Instr(Opcode.ADD, dest=r(6), srcs=(r(6), r(5))),
+            Instr(Opcode.SUB, dest=r(5), srcs=(r(5), Imm(1))),
+            Instr(Opcode.BNEZ, srcs=(r(5),), label="loop", hint_taken=False),
+            Instr(Opcode.HALT),
+        ], cfg=config(issue=1), labels={"loop": 2})
+        redirects = [ev for ev in obs.events if isinstance(ev, RedirectEvent)]
+        assert len(redirects) == result.stats.mispredicts == 2
+        assert all(ev.cause == "mispredict" for ev in redirects)
+        assert obs.redirect_by_cause["mispredict"] == \
+            result.stats.redirect_cycles
+
+    def test_mem_channel_slot_stall_event(self):
+        loads = [Instr(Opcode.LOAD, dest=r(5 + i), srcs=(Imm(100),), imm=i)
+                 for i in range(3)]
+        _p, _c, obs, result = observed(
+            loads + [Instr(Opcode.HALT)],
+            cfg=config(issue=8, mem_channels=2))
+        assert obs.mem_slot_stalls == result.stats.mem_channel_stalls > 0
+        assert any(isinstance(ev, MemStallEvent) for ev in obs.events)
+
+    def test_call_and_return_reset_the_map(self):
+        cfg = config(int_spec=rc_spec(RClass.INT, 16))
+        _p, _c, obs, _res = observed([
+            li(5, 7),
+            Instr(Opcode.CALL, label="sub"),
+            Instr(Opcode.HALT),
+            Instr(Opcode.RET),
+        ], cfg=cfg, labels={"sub": 3})
+        resets = [ev for ev in obs.events if isinstance(ev, MapResetEvent)]
+        assert [ev.cause for ev in resets] == ["call", "ret"]
+        assert obs.map_resets == 2
+
+    def test_event_limit_truncates_but_counters_stay_exact(self):
+        instrs = [li(5, 1), li(6, 2),
+                  Instr(Opcode.ADD, dest=r(7), srcs=(r(5), r(6))),
+                  Instr(Opcode.HALT)]
+        _p, _c, obs, result = observed(instrs, limit=2)
+        assert obs.truncated
+        assert len(obs.events) == 2
+        assert obs.instructions == result.stats.instructions  # not truncated
+
+    def test_aggregate_mode_allocates_no_events(self):
+        _p, _c, obs, result = observed(
+            [li(5, 1), Instr(Opcode.HALT)], keep_events=False)
+        assert obs.events == []
+        assert not obs.truncated
+        assert obs.instructions == result.stats.instructions
+
+    def test_subscribe_receives_events_in_aggregate_mode(self):
+        seen = []
+        program = assemble([li(5, 1), Instr(Opcode.HALT)])
+        obs = Observer(keep_events=False)
+        obs.subscribe(seen.append)
+        Simulator(program, config(), observer=obs).run()
+        assert [type(ev) for ev in seen] == [IssueEvent, IssueEvent]
+        assert obs.events == []  # listener does not force retention
+
+
+class TestSimStatsSummary:
+    def test_summary_reports_interrupts_and_class_mix(self):
+        cfg = paper_machine(issue_width=4, int_core=16)
+        module = sum_to_n_module(50)
+        out = compile_module(module, cfg)
+        stats = simulate(out.program, cfg).stats
+        text = stats.summary()
+        assert "interrupts" in text
+        assert "instructions by class:" in text
+        assert "INT ALU" in text
+
+    def test_reconcile_returns_self_on_consistent_stats(self):
+        cfg = paper_machine(issue_width=4, int_core=16)
+        out = compile_module(sum_to_n_module(10), cfg)
+        stats = simulate(out.program, cfg).stats
+        assert stats.reconcile() is stats
+
+    def test_reconcile_raises_on_tampered_counters(self):
+        cfg = paper_machine(issue_width=4, int_core=16)
+        out = compile_module(sum_to_n_module(10), cfg)
+        stats = simulate(out.program, cfg).stats
+        stats.instructions += 1
+        with pytest.raises(ReconcileError):
+            stats.reconcile()
+
+
+class TestCPIStack:
+    def _run(self, **obs_kw):
+        cfg = paper_machine(issue_width=4, int_core=16,
+                            rc_class=RClass.INT)
+        out = compile_module(sum_to_n_module(200), cfg)
+        return observe_run(out.program, cfg, **obs_kw)
+
+    def test_components_sum_to_cycles(self):
+        run = self._run()
+        stack = run.stack
+        assert sum(stack.components().values()) == stack.cycles
+        assert stack.total() == run.result.stats.cycles
+
+    def test_validate_rejects_mismatched_stats(self):
+        run = self._run()
+        stats = run.result.stats
+        stats.zero_issue_cycles += 1
+        with pytest.raises(ReconcileError):
+            run.stack.validate(stats)
+
+    def test_cpi_decomposition(self):
+        stack = self._run().stack
+        assert stack.cpi() == pytest.approx(
+            sum(stack.cpi_of(name) for name in stack.components()))
+
+    def test_to_dict_round_trips_through_json(self):
+        d = self._run().stack.to_dict()
+        restored = json.loads(json.dumps(d))
+        assert restored["cycles"] == d["cycles"]
+        assert restored["issue"] + restored["raw_interlock"] \
+            + restored["map_busy"] + sum(restored["redirect"].values()) \
+            == restored["cycles"]
+
+    def test_render_lists_every_nonzero_bucket(self):
+        stack = self._run().stack
+        text = stack.render()
+        assert "cycle attribution" in text
+        assert "issue" in text and "raw_interlock" in text
+
+    def test_merge_and_mix_summary(self):
+        d = self._run().stack.to_dict()
+        merged = merge_cpi([d, d, None])
+        assert merged["cycles"] == 2 * d["cycles"]
+        assert merged["instructions"] == 2 * d["instructions"]
+        text = stall_mix_summary(merged)
+        assert text.startswith("cpi mix:")
+        assert "issue" in text and "redirect" in text
+
+    def test_mix_summary_without_data(self):
+        assert stall_mix_summary(None) == "cpi: no data"
+        assert stall_mix_summary(merge_cpi([])) == "cpi: no data"
+
+
+class TestExports:
+    def _run(self):
+        cfg = paper_machine(issue_width=4, int_core=16,
+                            rc_class=RClass.INT)
+        out = compile_module(sum_to_n_module(50), cfg)
+        return observe_run(out.program, cfg)
+
+    def test_chrome_trace_structure(self):
+        run = self._run()
+        doc = chrome_trace(run)
+        events = doc["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in meta if e["name"] == "thread_name"}
+        assert {"issue slot 0", "interlock stalls", "redirects",
+                "map events"} <= names
+        issues = [e for e in events if e["ph"] == "X" and e["tid"] == 0]
+        assert issues and all(e["dur"] >= 1 for e in issues)
+        assert doc["otherData"]["cycles"] == run.result.stats.cycles
+
+    def test_chrome_trace_json_parses(self):
+        run = self._run()
+        doc = json.loads(chrome_trace_json(run))
+        assert len(doc["traceEvents"]) == len(json.loads(
+            chrome_trace_json(run, indent=2))["traceEvents"])
+
+    def test_konata_log_structure(self):
+        run = self._run()
+        text = konata_log(run)
+        lines = text.splitlines()
+        assert lines[0] == "Kanata\t0004"
+        assert lines[1].startswith("C=\t")
+        n_issues = sum(1 for ev in run.observer.events
+                       if isinstance(ev, IssueEvent))
+        assert sum(1 for ln in lines if ln.startswith("I\t")) == n_issues
+        assert sum(1 for ln in lines if ln.startswith("R\t")) == n_issues
+
+    def test_jsonl_one_valid_object_per_event(self):
+        run = self._run()
+        lines = events_jsonl(run).splitlines()
+        assert len(lines) == len(run.observer.events)
+        payloads = [json.loads(ln) for ln in lines]
+        assert all("type" in p and "cycle" in p for p in payloads)
+        kinds = {p["type"] for p in payloads}
+        assert "issue" in kinds
+
+    def test_jsonl_covers_every_event_type(self):
+        cfg = config(int_spec=rc_spec(RClass.INT, 16))
+        program = assemble([
+            li(5, 42),
+            connect_use(RClass.INT, 6, 5),
+            Instr(Opcode.ADD, dest=r(7), srcs=(r(6), r(6))),
+            Instr(Opcode.HALT),
+        ])
+        run = observe_run(program, cfg)
+        kinds = {json.loads(ln)["type"]
+                 for ln in events_jsonl(run).splitlines()}
+        assert {"issue", "connect"} <= kinds
+
+
+class TestPassMetrics:
+    def test_compile_records_every_stage_in_order(self):
+        cfg = paper_machine(issue_width=4, int_core=16,
+                            rc_class=RClass.INT)
+        metrics = PassMetrics()
+        out = compile_module(sum_to_n_module(20), cfg, metrics=metrics)
+        assert out.metrics is metrics
+        names = [rec.name for rec in metrics.records]
+        assert names == ["optimize", "profile", "alias", "schedule-pre",
+                         "lower-calls", "allocate", "spill+frame",
+                         "connect-insert", "schedule", "layout"]
+        assert metrics.total_seconds > 0
+        assert all(rec.seconds >= 0 for rec in metrics.records)
+
+    def test_connect_insert_delta_counts_connect_code(self):
+        cfg = paper_machine(issue_width=4, int_core=8,
+                            rc_class=RClass.INT)
+        metrics = PassMetrics()
+        out = compile_module(sum_to_n_module(20), cfg, metrics=metrics)
+        by_name = {rec.name: rec for rec in metrics.records}
+        if out.stats.connect_instructions:
+            assert by_name["connect-insert"].instr_delta > 0
+
+    def test_metrics_collection_does_not_change_output(self):
+        cfg = paper_machine(issue_width=4, int_core=16,
+                            rc_class=RClass.INT)
+        module = sum_to_n_module(20)
+        plain = compile_module(module, cfg)
+        measured = compile_module(module, cfg, metrics=PassMetrics())
+        assert len(plain.program) == len(measured.program)
+        assert [i.op for i in plain.program.instrs] == \
+            [i.op for i in measured.program.instrs]
+
+    def test_render_and_rows(self):
+        metrics = PassMetrics()
+        compile_module(sum_to_n_module(10),
+                       paper_machine(issue_width=2, int_core=16),
+                       metrics=metrics)
+        rows = metrics.to_rows()
+        assert all({"pass", "seconds", "instr_delta"} <= set(row)
+                   for row in rows)
+        text = metrics.render()
+        assert "optimize" in text and "total" in text
+
+    def test_maybe_measure_none_is_noop(self):
+        with maybe_measure(None, "anything", object()):
+            pass  # must not raise or require a module
+
+
+class TestObserverEffectAndReconcile:
+    """Acceptance property: observation is effect-free and the CPI stack
+    reconciles bit-exactly, for every benchmark x RC x issue rate."""
+
+    @pytest.mark.parametrize("name", ALL_BENCHMARKS)
+    def test_buckets_sum_exactly_and_observer_effect_is_zero(self, name):
+        w = workload(name)
+        module = w.module(1)
+        addr = module.global_addr("checksum")
+        rc_class = RClass.INT if w.kind == "int" else RClass.FP
+        for issue in (2, 4, 8):
+            for rc in (False, True):
+                cfg = paper_machine(
+                    issue_width=issue, int_core=16, fp_core=32,
+                    rc_class=rc_class if rc else None,
+                    rc_model=RCModel(3),
+                )
+                out = compile_module(module, cfg)
+                plain = simulate(out.program, cfg)
+                obs = Observer(keep_events=False)
+                watched = Simulator(out.program, cfg, observer=obs).run()
+
+                # Zero observer effect: same cycles, instructions, results.
+                label = f"{name} issue={issue} rc={rc}"
+                assert watched.cycles == plain.cycles, label
+                assert watched.stats.instructions == \
+                    plain.stats.instructions, label
+                assert watched.load_word(addr) == plain.load_word(addr), label
+
+                # Exact attribution: every cycle in exactly one bucket.
+                # (from_observer() validates issue/stall/redirect splits
+                # against SimStats and raises ReconcileError on any drift.)
+                stack = CPIStack.from_observer(obs, watched.stats)
+                assert stack.total() == watched.stats.cycles, label

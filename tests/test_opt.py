@@ -12,7 +12,6 @@ from repro.compiler.opt import (
     unroll_loops,
 )
 from repro.ir import FnBuilder, Module, run_module, verify_module
-from repro.ir.liveness import max_live_pressure
 from repro.isa import Imm, Opcode
 
 from helpers import call_module, sum_to_n_module

@@ -80,7 +80,7 @@ class TestTimeSharing:
         golden = run_module(module).load_word(module.global_addr("checksum"))
         system = TimeSharingSystem(RC_CONFIG, quantum=97)  # many switches
         proc = system.add_process(out.program, name="eqntott")
-        outcome = system.run()
+        system.run()
         assert proc.switches > 50
         got = proc.simulator.state.memory.get(
             module.global_addr("checksum"), 0)
@@ -96,7 +96,7 @@ class TestTimeSharing:
         rc_proc = system.add_process(out_rc.program, name="rcproc")
         legacy_proc = system.add_process(
             out_legacy.program, name="legacy", rc_process=False)
-        outcome = system.run()
+        system.run()
         assert rc_proc.switches > 0 and legacy_proc.switches > 0
         # Per-switch context cost: legacy saves core only.
         rc_cost = rc_proc.context_words / rc_proc.switches

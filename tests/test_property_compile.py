@@ -1,7 +1,6 @@
 """Property-based tests: random programs must produce identical results on
 the IR interpreter and on every compiled/simulated configuration."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.compiler import CompileOptions, OptOptions, compile_module
@@ -137,7 +136,6 @@ def test_coloring_respects_interference(spec, core):
         allocate_function,
         build_interference,
         lower_calls,
-        priority_order,
     )
     from repro.isa import NUM_RESERVED_INT, core_spec
 

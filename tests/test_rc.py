@@ -7,7 +7,6 @@ from repro.rc import (
     DEFAULT_MODEL,
     MappingTable,
     PSW,
-    ProcessContext,
     RCModel,
     restore_context,
     save_context,

@@ -13,10 +13,9 @@ from repro.compiler import (
 )
 from repro.compiler.regalloc.allocator import _SharedCounters
 from repro.errors import AllocationError
-from repro.ir import FnBuilder, Module, liveness, run_module
+from repro.ir import FnBuilder, Module, run_module
 from repro.isa import (
     NUM_RESERVED_INT,
-    PhysReg,
     RClass,
     core_spec,
     rc_spec,

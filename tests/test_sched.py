@@ -1,7 +1,5 @@
 """Unit tests for dependence-graph construction and list scheduling."""
 
-import pytest
-
 from repro.compiler import DepGraph, schedule_block_instrs
 from repro.isa import (
     Imm,
@@ -14,7 +12,6 @@ from repro.isa import (
     connect_def,
     connect_use,
     core_spec,
-    rc_spec,
 )
 from repro.rc import RCModel
 from repro.sim import MachineConfig

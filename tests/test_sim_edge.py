@@ -6,7 +6,6 @@ from repro.errors import SimulationError
 from repro.isa import (
     Imm,
     Instr,
-    LatencyModel,
     Opcode,
     PhysReg,
     RClass,

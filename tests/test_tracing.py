@@ -1,6 +1,6 @@
 """Tests for pipeline trace capture and rendering."""
 
-from repro.isa import Imm, Instr, Opcode, PhysReg, RClass, connect_use, rc_spec
+from repro.isa import Instr, Opcode, PhysReg, RClass, connect_use, rc_spec
 from repro.isa.registers import core_spec
 from repro.sim import MachineConfig, assemble, capture_trace
 
@@ -98,3 +98,34 @@ class TestRendering:
     def test_summary_mentions_utilization(self):
         trace = capture_trace(small_program(), config())
         assert "slot utilization" in trace.summary()
+
+
+class TestStatsAttachment:
+    def test_capture_attaches_run_stats(self):
+        trace = capture_trace(small_program(), config())
+        assert trace.stats is not None
+        assert trace.stats.instructions == len(trace.events) == 5
+        assert trace.elapsed_cycles() == trace.stats.cycles
+
+    def test_truncated_trace_falls_back_to_event_span(self):
+        trace = capture_trace(small_program(), config(issue=1), limit=2)
+        assert trace.truncated
+        assert trace.elapsed_cycles() == \
+            trace.events[-1][0] - trace.events[0][0] + 1
+
+    def test_stall_cycles_count_against_slot_utilization(self):
+        # MUL (3-cycle) feeding an ADD at single issue: two zero-issue
+        # stall cycles elapse, so true slot utilization must dip below
+        # the issued-cycles-only view.
+        program = assemble([
+            Instr(Opcode.LI, dest=r(5), imm=3),
+            Instr(Opcode.MUL, dest=r(6), srcs=(r(5), r(5))),
+            Instr(Opcode.ADD, dest=r(7), srcs=(r(6), r(6))),
+            Instr(Opcode.HALT),
+        ])
+        trace = capture_trace(program, config(issue=1))
+        assert trace.stats.zero_issue_cycles == 2
+        assert trace.issue_cycle_utilization() == 1.0
+        assert trace.utilization() == \
+            len(trace.events) / trace.stats.cycles
+        assert trace.utilization() < trace.issue_cycle_utilization()
