@@ -42,6 +42,14 @@ from repro.sim.tracing import capture_trace
 from repro.workloads import ALL_BENCHMARKS, workload
 
 
+def _engine_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--engine", default=None,
+                        choices=("fast", "reference"),
+                        help="execution engine (default: REPRO_ENGINE env "
+                             "var, else the specializing fast engine; both "
+                             "are bit-exact)")
+
+
 def _machine_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--issue", type=int, default=4,
                         choices=(1, 2, 4, 8), help="issue width")
@@ -121,7 +129,7 @@ def cmd_list(_args) -> int:
 
 def cmd_run(args) -> int:
     w, module, config, out = _compile_benchmark(args)
-    result = simulate(out.program, config)
+    result = simulate(out.program, config, engine=args.engine)
     addr = module.global_addr("checksum")
     got = result.load_word(addr)
     want = out.interp.load_word(addr)
@@ -157,14 +165,16 @@ def cmd_asm(args) -> int:
     with open(args.file) as fh:
         program = parse_program(fh.read())
     config = _build_machine(args, "int")
-    result = simulate(program, config)
+    result = simulate(program, config, engine=args.engine)
     print(f"machine  {config.describe()}")
     print(f"cycles   {result.cycles}")
     print(f"instrs   {result.stats.instructions}"
           f"  (IPC {result.stats.ipc:.2f})")
     if args.dump:
         for addr in args.dump:
-            print(f"mem[{addr}] = {result.load_word(addr)!r}")
+            value = result.load_word(addr, default=None)
+            shown = repr(value) if value is not None else "(never written)"
+            print(f"mem[{addr}] = {shown}")
     return 0
 
 
@@ -225,7 +235,7 @@ def cmd_profile(args) -> int:
 
 
 def cmd_figures(args) -> int:
-    runner = ExperimentRunner(scale=args.scale)
+    runner = ExperimentRunner(scale=args.scale, engine=args.engine)
     names = args.names or list(ALL_FIGURES)
     benchmarks = (tuple(args.benchmarks.split(","))
                   if args.benchmarks else ALL_BENCHMARKS)
@@ -247,7 +257,7 @@ def cmd_figures(args) -> int:
 
 
 def cmd_sweep(args) -> int:
-    runner = ExperimentRunner(scale=args.scale)
+    runner = ExperimentRunner(scale=args.scale, engine=args.engine)
     names = args.names or list(ALL_FIGURES)
     for name in names:
         if name not in ALL_FIGURES:
@@ -296,6 +306,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("run", help="compile and simulate a benchmark")
     p.add_argument("benchmark", choices=ALL_BENCHMARKS)
+    _engine_arg(p)
     _machine_args(p)
     _compile_args(p)
     p.set_defaults(fn=cmd_run)
@@ -312,6 +323,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file")
     p.add_argument("--dump", type=int, action="append",
                    help="print this memory word after the run")
+    _engine_arg(p)
     _machine_args(p)
     p.set_defaults(fn=cmd_asm)
 
@@ -347,6 +359,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("figures", help="regenerate paper figures")
     p.add_argument("names", nargs="*", metavar="figure")
+    _engine_arg(p)
     p.add_argument("--scale", type=int, default=None)
     p.add_argument("--benchmarks", default="",
                    help="comma-separated benchmark subset")
@@ -358,6 +371,7 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep",
         help="regenerate figures through the parallel sweep executor")
     p.add_argument("names", nargs="*", metavar="figure")
+    _engine_arg(p)
     p.add_argument("--jobs", type=int, default=None,
                    help="worker processes (default REPRO_JOBS or CPU count)")
     p.add_argument("--scale", type=int, default=None)

@@ -107,13 +107,13 @@ class SweepStats:
 _worker_runners: dict[tuple, ExperimentRunner] = {}
 
 
-def _run_job(scale: int, cache_dir: str, verify: bool,
+def _run_job(scale: int, cache_dir: str, verify: bool, engine: str,
              job: SweepJob) -> tuple[RunRecord, float]:
-    key = (scale, cache_dir, verify)
+    key = (scale, cache_dir, verify, engine)
     runner = _worker_runners.get(key)
     if runner is None:
         runner = ExperimentRunner(scale=scale, cache_dir=cache_dir,
-                                  verify_checksums=verify)
+                                  verify_checksums=verify, engine=engine)
         _worker_runners[key] = runner
     start = time.perf_counter()
     record = runner.run(job.benchmark, job.config, **job.kwargs())
@@ -279,7 +279,8 @@ class SweepExecutor:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {
                 pool.submit(_run_job, runner.scale, str(runner.cache_dir),
-                            runner.verify_checksums, jobs[idxs[0]]): (key, idxs)
+                            runner.verify_checksums, runner.engine,
+                            jobs[idxs[0]]): (key, idxs)
                 for key, idxs in by_key.items()
             }
             outstanding = set(futures)

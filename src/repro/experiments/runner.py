@@ -27,7 +27,13 @@ from repro.errors import SimulationError
 from repro.ir import run_module
 from repro.isa import RClass
 from repro.observe import CPIStack, Observer
-from repro.sim import MachineConfig, Simulator, simulate, unlimited_machine
+from repro.sim import (
+    MachineConfig,
+    Simulator,
+    resolve_engine,
+    simulate,
+    unlimited_machine,
+)
 from repro.workloads import workload
 
 #: Environment variable scaling every benchmark's input size.
@@ -105,12 +111,15 @@ class RunRecord:
         return self.callsave_static / base if base else 0.0
 
 
-def _config_key(config: MachineConfig) -> str:
-    """A cache key covering *every* cycle-affecting configuration field.
+def _compile_key(config: MachineConfig) -> str:
+    """The part of a config that can change *compilation* output.
 
-    The full latency field tuple is included (not just load/connect), plus
-    ``max_cycles``, so two configs differing in any latency or limit can
-    never share a cached record.
+    The scheduler is machine-aware (issue width, memory channels, the full
+    latency table, the RC model's map-dependency ordering) and the register
+    allocator sees both file specs, so all of those are compile-affecting.
+    ``extra_decode_stage`` and ``max_cycles`` are simulate-only and live in
+    :func:`_sim_key` — sweep points differing only in those reuse one
+    compilation via the in-memory compiled-program cache.
     """
     lat = "-".join(str(v) for v in config.latency.field_tuple())
     return (
@@ -118,30 +127,53 @@ def _config_key(config: MachineConfig) -> str:
         f".lat{lat}"
         f".int{config.int_spec.core}-{config.int_spec.total}"
         f".fp{config.fp_spec.core}-{config.fp_spec.total}"
-        f".m{config.rc_model.value}.x{int(config.extra_decode_stage)}"
-        f".cy{config.max_cycles}"
+        f".m{config.rc_model.value}"
     )
+
+
+def _sim_key(config: MachineConfig) -> str:
+    """The part of a config that only changes *simulation*, not compilation."""
+    return f"x{int(config.extra_decode_stage)}.cy{config.max_cycles}"
+
+
+def _config_key(config: MachineConfig) -> str:
+    """A cache key covering *every* cycle-affecting configuration field.
+
+    Composed of the compile-affecting and simulate-affecting parts, so two
+    configs differing in any latency or limit can never share a cached
+    record.
+    """
+    return f"{_compile_key(config)}.{_sim_key(config)}"
 
 
 class ExperimentRunner:
     """Runs and caches benchmark experiments at a fixed input scale."""
 
+    #: In-memory compiled-program cache size (FIFO eviction); sweep points
+    #: differing only in simulate-affecting fields share one compilation.
+    COMPILE_CACHE_CAP = 64
+
     def __init__(self, scale: int | None = None,
                  cache_dir: str | Path | None = None,
-                 verify_checksums: bool = True) -> None:
+                 verify_checksums: bool = True,
+                 engine: str | None = None) -> None:
         if scale is None:
             scale = int(os.environ.get(SCALE_ENV, "1"))
         self.scale = scale
         self.verify_checksums = verify_checksums
+        self.engine = resolve_engine(engine)
         if cache_dir is None:
             cache_dir = os.environ.get(CACHE_ENV, ".repro_cache")
         self.cache_dir = Path(cache_dir)
         self._memory: dict[str, RunRecord] = {}
         self._golden: dict[str, int | float] = {}
+        self._compiled: dict[tuple, tuple] = {}
         self._fingerprint = code_fingerprint()
         #: cache traffic counters, surfaced by the sweep executor.
         self.cache_hits = 0
         self.cache_misses = 0
+        self.compile_hits = 0
+        self.compile_misses = 0
 
     # -- caching ---------------------------------------------------------------
 
@@ -229,6 +261,38 @@ class ExperimentRunner:
                 f".o{opt_level}.u{unroll_factor}.w{num_windows}"
                 f".f{self._fingerprint}")
 
+    def _compiled_program(self, benchmark: str, config: MachineConfig,
+                          opt_level: str, unroll_factor: int,
+                          num_windows: int) -> tuple:
+        """Compile *benchmark* for *config*, memoized on the
+        compile-affecting key.
+
+        Sweep points that differ only in simulate-affecting fields
+        (``extra_decode_stage``, ``max_cycles``) hit this cache and reuse
+        one compilation — and, because the same ``MachineProgram`` object is
+        returned, the fast engine's per-program code cache amortizes its
+        specialization cost across those points too.
+        """
+        ckey = (benchmark, _compile_key(config), opt_level, unroll_factor,
+                num_windows)
+        hit = self._compiled.get(ckey)
+        if hit is not None:
+            self.compile_hits += 1
+            return hit
+        self.compile_misses += 1
+        module = workload(benchmark).module(self.scale)
+        from repro.compiler.regalloc.allocator import AllocationOptions
+
+        options = CompileOptions(
+            opt=OptOptions(level=opt_level, unroll_factor=unroll_factor),
+            alloc=AllocationOptions(num_windows=num_windows),
+        )
+        out = compile_module(module, config, options)
+        if len(self._compiled) >= self.COMPILE_CACHE_CAP:
+            self._compiled.pop(next(iter(self._compiled)))
+        self._compiled[ckey] = (module, out)
+        return module, out
+
     def cached(self, benchmark: str, config: MachineConfig,
                collect_cpi: bool = False, **kwargs) -> RunRecord | None:
         """Return the cached record for one experiment, or None (no compute,
@@ -256,21 +320,14 @@ class ExperimentRunner:
             return record
         self.cache_misses += 1
 
-        w = workload(benchmark)
-        module = w.module(self.scale)
-        from repro.compiler.regalloc.allocator import AllocationOptions
-
-        options = CompileOptions(
-            opt=OptOptions(level=opt_level, unroll_factor=unroll_factor),
-            alloc=AllocationOptions(num_windows=num_windows),
-        )
-        out = compile_module(module, config, options)
+        module, out = self._compiled_program(
+            benchmark, config, opt_level, unroll_factor, num_windows)
         observer = None
         if collect_cpi:
             observer = Observer(keep_events=False)
             result = Simulator(out.program, config, observer=observer).run()
         else:
-            result = simulate(out.program, config)
+            result = simulate(out.program, config, engine=self.engine)
         checksum_ok = True
         if self.verify_checksums:
             addr = module.global_addr("checksum")

@@ -1,12 +1,16 @@
 """Cycle-level superscalar simulator with Register Connection support."""
 
 from repro.sim.config import (
+    ENGINE_ENV,
+    VALID_ENGINES,
     MachineConfig,
     default_memory_channels,
     paper_machine,
+    resolve_engine,
     unlimited_machine,
 )
 from repro.sim.core import SimResult, Simulator, simulate
+from repro.sim.fastpath import FastSimulator
 from repro.sim.machine import MachineState
 from repro.sim.os_model import ProcessRecord, ScheduleOutcome, TimeSharingSystem
 from repro.sim.program import MachineProgram, assemble
@@ -14,6 +18,9 @@ from repro.sim.stats import SimStats
 from repro.sim.tracing import PipelineTrace, capture_trace
 
 __all__ = [
+    "ENGINE_ENV",
+    "VALID_ENGINES",
+    "FastSimulator",
     "MachineConfig",
     "MachineProgram",
     "MachineState",
@@ -28,6 +35,7 @@ __all__ = [
     "capture_trace",
     "default_memory_channels",
     "paper_machine",
+    "resolve_engine",
     "simulate",
     "unlimited_machine",
 ]

@@ -10,6 +10,7 @@ issue slots (two memory channels for the 2- and 4-issue models, four for the
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
@@ -25,6 +26,29 @@ from repro.isa.registers import (
 from repro.rc.models import DEFAULT_MODEL, RCModel
 
 VALID_ISSUE_WIDTHS = (1, 2, 4, 8)
+
+#: Environment variable consulted when no explicit engine is requested.
+ENGINE_ENV = "REPRO_ENGINE"
+
+#: Recognised execution engines: the specializing fast path (default) and
+#: the straight-line reference interpreter in :mod:`repro.sim.core`.
+VALID_ENGINES = ("fast", "reference")
+
+
+def resolve_engine(engine: str | None = None) -> str:
+    """Resolve an engine request to a member of :data:`VALID_ENGINES`.
+
+    ``None``, ``""`` and ``"auto"`` defer to the :data:`ENGINE_ENV`
+    environment variable, falling back to ``"fast"``.  Anything else must
+    name a valid engine.
+    """
+    if engine in (None, "", "auto"):
+        engine = os.environ.get(ENGINE_ENV, "").strip() or "fast"
+    if engine not in VALID_ENGINES:
+        raise ConfigError(
+            f"unknown engine {engine!r}; expected one of {VALID_ENGINES}"
+        )
+    return engine
 
 
 def default_memory_channels(issue_width: int) -> int:

@@ -27,6 +27,7 @@ which tests compare against the IR interpreter's golden results.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 
 from repro.errors import SimulationError
@@ -73,6 +74,10 @@ class _Dec:
         self.target = None
 
 
+#: Sentinel distinguishing "no default supplied" from ``default=None``.
+_UNWRITTEN = object()
+
+
 @dataclass
 class SimResult:
     """Outcome of one simulation run (or run segment, when resumable)."""
@@ -85,8 +90,22 @@ class SimResult:
     def cycles(self) -> int:
         return self.stats.cycles
 
-    def load_word(self, addr: int) -> int | float:
-        return self.state.memory.get(addr, 0)
+    def load_word(self, addr: int, default: object = _UNWRITTEN) -> int | float:
+        """Read back a memory word from the final machine state.
+
+        Raises :class:`SimulationError` when *addr* was never written during
+        the run (unless *default* is given) — a silent 0 here can mask a
+        checksum-address typo in a new workload.
+        """
+        try:
+            return self.state.memory[addr]
+        except KeyError:
+            if default is not _UNWRITTEN:
+                return default  # type: ignore[return-value]
+            raise SimulationError(
+                f"load_word({addr}): address was never written during the "
+                f"run (pass default= to allow unwritten reads)"
+            ) from None
 
 
 class Simulator:
@@ -251,8 +270,7 @@ class Simulator:
 
     def schedule_interrupt(self, cycle: int, vector: int) -> None:
         """Deliver an external interrupt at the start of *cycle*."""
-        self._interrupts.append((cycle, vector))
-        self._interrupts.sort()
+        heapq.heappush(self._interrupts, (cycle, vector))
 
     # -- main loop ----------------------------------------------------------------
 
@@ -325,7 +343,7 @@ class Simulator:
             # External interrupt delivery at cycle boundaries (masked while a
             # trap is in progress).
             if pending and pending[0][0] <= cycle and not state.trap_stack:
-                _, vector = pending.pop(0)
+                _, vector = heapq.heappop(pending)
                 handler = program.trap_handlers.get(vector)
                 if handler is None:
                     raise SimulationError(f"no handler for interrupt {vector}")
@@ -591,6 +609,19 @@ class Simulator:
         return SimResult(stats=stats, state=state, halted=halted)
 
 
-def simulate(program: MachineProgram, config: MachineConfig) -> SimResult:
-    """Convenience wrapper: build a simulator and run it."""
+def simulate(program: MachineProgram, config: MachineConfig,
+             engine: str | None = None) -> SimResult:
+    """Convenience wrapper: build a simulator and run it.
+
+    ``engine`` selects the execution engine: ``"fast"`` (the specializing
+    engine in :mod:`repro.sim.fastpath`, bit-exact with the reference) or
+    ``"reference"``.  ``None`` defers to the ``REPRO_ENGINE`` environment
+    variable and defaults to the fast engine.
+    """
+    from repro.sim.config import resolve_engine
+
+    if resolve_engine(engine) == "fast":
+        from repro.sim.fastpath import FastSimulator
+
+        return FastSimulator(program, config).run()
     return Simulator(program, config).run()

@@ -340,3 +340,45 @@ class TestCpiCollection:
         ex = SweepExecutor(runner=runner, jobs=1)
         fig = ex.run_figure(figure7, benchmarks=("cmp",))
         assert "cpi mix:" not in fig.footer
+
+
+class TestCompileCache:
+    def test_sim_only_variants_reuse_one_compilation(self, runner):
+        cfg = unlimited_machine(issue_width=4)
+        runner.run("cmp", cfg)
+        assert runner.compile_misses == 1
+        # extra_decode_stage and max_cycles are simulate-only: same program
+        runner.run("cmp", dataclasses.replace(cfg, extra_decode_stage=True))
+        runner.run("cmp", dataclasses.replace(cfg, max_cycles=10**8))
+        assert runner.compile_misses == 1
+        assert runner.compile_hits == 2
+
+    def test_compile_affecting_fields_recompile(self, runner):
+        cfg = unlimited_machine(issue_width=4)
+        runner.run("cmp", cfg)
+        runner.run("cmp", dataclasses.replace(cfg, issue_width=2))
+        assert runner.compile_misses == 2
+        assert runner.compile_hits == 0
+
+    def test_sim_key_excluded_from_compile_key(self):
+        from repro.experiments.runner import _compile_key, _sim_key
+
+        cfg = unlimited_machine(issue_width=4)
+        var = dataclasses.replace(cfg, extra_decode_stage=True,
+                                  max_cycles=10**8)
+        assert _compile_key(cfg) == _compile_key(var)
+        assert _sim_key(cfg) != _sim_key(var)
+        assert _config_key(cfg) != _config_key(var)
+
+    def test_engine_excluded_from_record_keys(self, tmp_path):
+        ref = ExperimentRunner(scale=1, cache_dir=tmp_path / "c",
+                               engine="reference")
+        fast = ExperimentRunner(scale=1, cache_dir=tmp_path / "c",
+                                engine="fast")
+        cfg = unlimited_machine(issue_width=2)
+        assert (ref.cache_key("cmp", cfg) == fast.cache_key("cmp", cfg))
+        # a record computed by one engine satisfies the other (bit-exact)
+        rec_ref = ref.run("cmp", cfg)
+        rec_fast = fast.run("cmp", cfg)
+        assert rec_ref == rec_fast
+        assert fast.cache_misses == 0 and fast.cache_hits == 1

@@ -1,0 +1,228 @@
+"""Differential tests: the specializing fast engine vs the reference.
+
+The fast engine (:mod:`repro.sim.fastpath`) must be bit-exact with the
+reference :class:`~repro.sim.core.Simulator` — same cycles, same full
+:class:`~repro.sim.stats.SimStats`, same architectural state — across every
+benchmark, RC reset model, and issue width.  Interrupts, observers, and
+trace hooks must transparently fall back to the reference engine.
+"""
+
+import pytest
+
+from repro.compiler import compile_module
+from repro.errors import ConfigError
+from repro.isa import Imm, Instr, Opcode, PhysReg, RClass
+from repro.rc import RCModel
+from repro.sim import (
+    ENGINE_ENV,
+    FastSimulator,
+    Simulator,
+    assemble,
+    paper_machine,
+    resolve_engine,
+    simulate,
+    unlimited_machine,
+)
+from repro.workloads import ALL_BENCHMARKS, build_workload, workload
+
+WIDTHS = (1, 2, 4, 8)
+MODELS = tuple(RCModel)
+
+#: One compilation per (benchmark, width, model) shared by all assertions.
+_compiled: dict = {}
+
+
+def _point(name: str, width: int, model: RCModel):
+    key = (name, width, model)
+    if key not in _compiled:
+        kind = workload(name).kind
+        rc_class = RClass.INT if kind == "int" else RClass.FP
+        cfg = paper_machine(issue_width=width, rc_class=rc_class,
+                            rc_model=model)
+        module = build_workload(name, scale=1)
+        out = compile_module(module, cfg)
+        _compiled[key] = (module, out, cfg)
+    return _compiled[key]
+
+
+def _assert_parity(program, config, label: str):
+    """Run both engines on (program, config) and compare everything."""
+    ref = Simulator(program, config).run()
+    fast_sim = FastSimulator(program, config)
+    fast = fast_sim.run()
+    assert fast_sim.ran_fastpath, f"{label}: unexpectedly fell back"
+    assert fast.stats == ref.stats, (
+        f"{label}: stats diverge\nfast {fast.stats}\nref  {ref.stats}")
+    assert fast.halted == ref.halted, label
+    assert fast.state.memory == ref.state.memory, f"{label}: memory diverges"
+    assert fast.state.int_regs == ref.state.int_regs, label
+    assert fast.state.fp_regs == ref.state.fp_regs, label
+    fast.stats.reconcile()
+    ref.stats.reconcile()
+    return ref, fast
+
+
+@pytest.mark.parametrize("name", ALL_BENCHMARKS)
+def test_engine_parity_all_models_and_widths(name):
+    """Fast == reference on cycles, full SimStats, checksum, and state for
+    every RC model × issue width combination of one benchmark."""
+    for model in MODELS:
+        for width in WIDTHS:
+            module, out, cfg = _point(name, width, model)
+            label = f"{name} w{width} {model.name}"
+            ref, fast = _assert_parity(out.program, cfg, label)
+            addr = module.global_addr("checksum")
+            assert fast.load_word(addr) == ref.load_word(addr), label
+
+
+@pytest.mark.parametrize("name", ALL_BENCHMARKS[:3])
+def test_engine_parity_unlimited_and_connect_latency(name):
+    """Edge configs: unlimited registers, 1-cycle connects, extra decode
+    stage."""
+    module = build_workload(name, scale=1)
+    kind = workload(name).kind
+    rc_class = RClass.INT if kind == "int" else RClass.FP
+    for cfg in (
+        unlimited_machine(issue_width=4),
+        paper_machine(issue_width=4, rc_class=rc_class, connect_latency=1,
+                      extra_decode_stage=True),
+    ):
+        out = compile_module(module, cfg)
+        _assert_parity(out.program, cfg, f"{name} {cfg.describe()}")
+
+
+def _interrupt_program():
+    def li(dest, value):
+        return Instr(Opcode.LI, dest=PhysReg(RClass.INT, dest), imm=value)
+
+    return assemble([
+        li(5, 7),
+        li(6, 0),
+        # loop: r6 += r5, 200 iterations
+        li(7, 0),
+        Instr(Opcode.ADD, dest=PhysReg(RClass.INT, 6),
+              srcs=(PhysReg(RClass.INT, 6), PhysReg(RClass.INT, 5))),
+        Instr(Opcode.ADD, dest=PhysReg(RClass.INT, 7),
+              srcs=(PhysReg(RClass.INT, 7), Imm(1))),
+        Instr(Opcode.BLT, srcs=(PhysReg(RClass.INT, 7), Imm(200)),
+              label="loop"),
+        Instr(Opcode.STORE, srcs=(PhysReg(RClass.INT, 6), Imm(0)), imm=900),
+        Instr(Opcode.HALT),
+        # handler (vector 3): store a marker, return
+        Instr(Opcode.STORE, srcs=(PhysReg(RClass.INT, 5), Imm(0)), imm=901),
+        Instr(Opcode.RTE),
+    ], labels={"loop": 3}, trap_handlers={3: 8})
+
+
+class TestFallback:
+    def test_interrupts_force_reference_fallback_and_match(self):
+        prog = _interrupt_program()
+        cfg = paper_machine(issue_width=4, rc_class=RClass.INT)
+
+        ref_sim = Simulator(prog, cfg)
+        ref_sim.schedule_interrupt(40, 3)
+        ref = ref_sim.run()
+
+        fast_sim = FastSimulator(prog, cfg)
+        fast_sim.schedule_interrupt(40, 3)
+        fast = fast_sim.run()
+
+        assert not fast_sim.ran_fastpath  # delegated to the reference
+        assert fast.stats == ref.stats
+        assert fast.stats.interrupts == 1
+        assert fast.state.memory == ref.state.memory
+
+    def test_trap_and_rte_stay_on_fast_path_and_match(self):
+        prog = assemble([
+            Instr(Opcode.LI, dest=PhysReg(RClass.INT, 5), imm=7),
+            Instr(Opcode.TRAP, imm=3),
+            Instr(Opcode.STORE, srcs=(PhysReg(RClass.INT, 5), Imm(0)),
+                  imm=500),
+            Instr(Opcode.HALT),
+            # handler
+            Instr(Opcode.STORE, srcs=(PhysReg(RClass.INT, 5), Imm(0)),
+                  imm=501),
+            Instr(Opcode.RTE),
+        ], trap_handlers={3: 4})
+        cfg = paper_machine(issue_width=4, rc_class=RClass.INT)
+        ref, fast = _assert_parity(prog, cfg, "trap/rte")
+        assert fast.load_word(501) == 7
+
+    def test_observer_routes_to_reference(self):
+        from repro.observe import Observer
+
+        module, out, cfg = _point(ALL_BENCHMARKS[0], 4, RCModel.NO_RESET)
+        sim = FastSimulator(out.program, cfg)
+        sim.observer = Observer(keep_events=False)
+        ref = Simulator(out.program, cfg,
+                        observer=Observer(keep_events=False)).run()
+        fast = sim.run()
+        assert not sim.ran_fastpath
+        assert fast.stats == ref.stats
+
+    def test_until_cycle_routes_to_reference(self):
+        module, out, cfg = _point(ALL_BENCHMARKS[0], 4, RCModel.NO_RESET)
+        sim = FastSimulator(out.program, cfg)
+        partial = sim.run(until_cycle=50)
+        assert not sim.ran_fastpath
+        assert not partial.halted
+        # resuming to completion still matches the reference end state
+        final = sim.run()
+        ref = Simulator(out.program, cfg).run()
+        assert final.stats.cycles == ref.stats.cycles
+        assert final.state.memory == ref.state.memory
+
+
+class TestEngineSelection:
+    def test_resolve_engine_defaults_to_fast(self, monkeypatch):
+        monkeypatch.delenv(ENGINE_ENV, raising=False)
+        assert resolve_engine() == "fast"
+        assert resolve_engine("auto") == "fast"
+
+    def test_resolve_engine_env_override(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV, "reference")
+        assert resolve_engine() == "reference"
+        # an explicit argument beats the environment
+        assert resolve_engine("fast") == "fast"
+
+    def test_resolve_engine_rejects_unknown(self, monkeypatch):
+        monkeypatch.delenv(ENGINE_ENV, raising=False)
+        with pytest.raises(ConfigError, match="unknown engine"):
+            resolve_engine("bogus")
+        monkeypatch.setenv(ENGINE_ENV, "bogus")
+        with pytest.raises(ConfigError, match="unknown engine"):
+            resolve_engine()
+
+    def test_simulate_engine_kwarg(self):
+        module, out, cfg = _point(ALL_BENCHMARKS[0], 2, RCModel.NO_RESET)
+        fast = simulate(out.program, cfg, engine="fast")
+        ref = simulate(out.program, cfg, engine="reference")
+        assert fast.stats == ref.stats
+
+
+class TestFaultParity:
+    def test_fell_off_end_message_matches(self):
+        from repro.errors import SimulationError
+
+        prog = assemble([Instr(Opcode.LI, dest=PhysReg(RClass.INT, 5),
+                               imm=1)])
+        cfg = paper_machine(issue_width=4, rc_class=RClass.INT)
+        with pytest.raises(SimulationError, match="fell off"):
+            FastSimulator(prog, cfg).run()
+
+    def test_div_by_zero_faults_like_reference(self):
+        from repro.errors import SimulationError
+
+        prog = assemble([
+            Instr(Opcode.LI, dest=PhysReg(RClass.INT, 5), imm=4),
+            Instr(Opcode.LI, dest=PhysReg(RClass.INT, 6), imm=0),
+            Instr(Opcode.DIV, dest=PhysReg(RClass.INT, 7),
+                  srcs=(PhysReg(RClass.INT, 5), PhysReg(RClass.INT, 6))),
+            Instr(Opcode.HALT),
+        ])
+        cfg = paper_machine(issue_width=4, rc_class=RClass.INT)
+        with pytest.raises(SimulationError) as ref_exc:
+            Simulator(prog, cfg).run()
+        with pytest.raises(SimulationError) as fast_exc:
+            FastSimulator(prog, cfg).run()
+        assert str(fast_exc.value) == str(ref_exc.value)

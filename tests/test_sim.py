@@ -511,3 +511,26 @@ class TestConfig:
         from repro.errors import ConfigError
         with pytest.raises(ConfigError):
             config(issue=3)
+
+
+class TestLoadWordStrict:
+    def _result(self):
+        prog = assemble([
+            li(5, 42),
+            Instr(Opcode.STORE, srcs=(r(5), Imm(0)), imm=100),
+            halt(),
+        ])
+        return simulate(prog, config())
+
+    def test_written_address_reads_back(self):
+        assert self._result().load_word(100) == 42
+
+    def test_unwritten_address_raises(self):
+        # A silent 0 here can mask a checksum-address typo in a workload.
+        with pytest.raises(SimulationError, match="never written"):
+            self._result().load_word(101)
+
+    def test_explicit_default_allows_unwritten(self):
+        result = self._result()
+        assert result.load_word(101, default=0) == 0
+        assert result.load_word(101, default=None) is None
