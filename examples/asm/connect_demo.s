@@ -1,0 +1,30 @@
+; Register Connection in hand-written assembly.
+;
+; Run the static checker with the RC extension enabled:
+;
+;     repro check examples/asm/connect_demo.s --rc --model 3
+;     repro check examples/asm/connect_demo.s --rc --models 1,2,3,4,5
+;
+; connect_def redirects *writes* of a core index to an extended register;
+; connect_use redirects *reads*.  Under the write-reset models (2-4) the
+; write mapping snaps back to the core register after one write, so the
+; read side is re-connected explicitly before the value is consumed --
+; that keeps this program clean under every reset model at once.
+
+.entry start
+
+start:
+    li r5, 7
+    connect_def ri6, rp20   ; writes of r6 now land in extended r20
+    add r6, r5, 3           ; 10 -> physical r20 (write map may reset here)
+    connect_use ri6, rp20   ; reads of r6 now come from extended r20
+    add r7, r6, 5           ; reads r20 through the mapping table
+
+    li r9, 2048
+    store r7, 0(r9)
+    load r10, 0(r9)
+    ; The load's value is consumed on the very next cycle; at load
+    ; latency 2 the machine interlocks here, which is intentional in
+    ; this demo, so the hazard lint is suppressed for this line.
+    add r11, r10, 1         ; check: ignore=LAT001
+    halt

@@ -1,0 +1,26 @@
+; Sum the integers 1..10 and store the result at word 2048.
+;
+; A minimal hand-written program for the textual assembly format
+; (see `repro asm` to run it and `repro check` to statically check it):
+;
+;     repro asm examples/asm/sum_loop.s
+;     repro check examples/asm/sum_loop.s
+;
+; The program is clean under every reset model: all reads are dominated
+; by definitions, the loop branch targets exist, and no instruction pair
+; sits closer than the producer's latency.
+
+.entry start
+
+start:
+    li r5, 0                ; sum
+    li r6, 1                ; i
+
+loop:
+    add r5, r5, r6          ; sum += i
+    add r6, r6, 1           ; i += 1
+    blt r6, 11 -> loop [taken]
+
+    li r9, 2048
+    store r5, 0(r9)
+    halt

@@ -1,0 +1,46 @@
+"""Static analysis of compiled machine programs (``repro check``).
+
+The subsystem has three layers:
+
+* :mod:`repro.analyze.cfg` — machine-level control-flow recovery: basic
+  blocks, successor/predecessor edges, and function partitioning from
+  branch/jump/call targets (plus ``func_ranges`` when the compiler provides
+  them).
+* :mod:`repro.analyze.dataflow` — a small forward abstract-interpretation
+  framework: client analyses define an entry state, a join, and a transfer
+  function; the solver iterates a worklist to fixpoint.
+* :mod:`repro.analyze.checks` — the analyses built on top: RC map-state
+  abstract interpretation (per reset model), machine-level use-before-def,
+  a calling-convention audit, and a latency/hazard lint.  Each finding
+  carries a stable rule id (see :mod:`repro.analyze.findings` and
+  docs/CHECKS.md).
+
+Entry point: :func:`check_program` returns an :class:`AnalysisReport`.
+"""
+
+from repro.analyze.annotate import annotate_listing
+from repro.analyze.cfg import FuncCFG, MachineBlock, ProgramCFG, build_cfg
+from repro.analyze.checks import check_program
+from repro.analyze.dataflow import DataflowResult, ForwardAnalysis, solve_forward
+from repro.analyze.findings import (
+    RULES,
+    AnalysisReport,
+    Finding,
+    Severity,
+)
+
+__all__ = [
+    "AnalysisReport",
+    "DataflowResult",
+    "Finding",
+    "ForwardAnalysis",
+    "FuncCFG",
+    "MachineBlock",
+    "ProgramCFG",
+    "RULES",
+    "Severity",
+    "annotate_listing",
+    "build_cfg",
+    "check_program",
+    "solve_forward",
+]

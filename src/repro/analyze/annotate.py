@@ -1,0 +1,65 @@
+"""Annotated disassembly: findings + abstract map state interleaved.
+
+Backs ``repro disasm --annotate``: the plain listing with one comment line
+per static-check finding, and the abstract mapping-table state (every
+non-home read/write entry the fixpoint admits) at each basic-block entry.
+"""
+
+from __future__ import annotations
+
+from repro.analyze.checks import _Checker
+from repro.analyze.cfg import build_cfg
+from repro.analyze.dataflow import solve_forward
+from repro.analyze.findings import AnalysisReport
+from repro.isa.asmfmt import format_instr
+from repro.sim.config import MachineConfig
+from repro.sim.program import MachineProgram
+
+
+def _entry_text(entry) -> str:
+    return "|".join(f"p{p}" for p in sorted({p for p, _ in entry}))
+
+
+def _map_comment(maps) -> str:
+    parts = []
+    for cls in sorted(maps, key=lambda c: c.value):
+        amap = maps[cls]
+        shown = []
+        for which, table in (("r", amap.read), ("w", amap.write)):
+            for index in sorted(table):
+                shown.append(f"{which}{index}->{_entry_text(table[index])}")
+        if shown:
+            parts.append(f"{cls.value}[{' '.join(shown)}]")
+    return " ".join(parts) if parts else "home"
+
+
+def annotate_listing(program: MachineProgram, config: MachineConfig,
+                     report: AnalysisReport) -> str:
+    """Render *program* with block-entry map states and *report* findings."""
+    cfg = build_cfg(program)
+    checker = _Checker(program, config)
+    block_states: dict[int, str] = {}
+    block_fn: dict[int, str] = {}
+    for fn in cfg.functions:
+        result = solve_forward(fn, checker, program.instrs)
+        for start in fn.reachable():
+            state = result.block_in[start]
+            block_states[start] = _map_comment(state.maps)
+            block_fn[start] = fn.name
+
+    by_index: dict[int, list] = {}
+    for f in report.findings:
+        by_index.setdefault(f.index, []).append(f)
+
+    lines: list[str] = []
+    for i, instr in enumerate(program.instrs):
+        if i in block_states:
+            lines.append(f"        ; -- block @{i} ({block_fn[i]}) "
+                         f"map: {block_states[i]}")
+        elif i in cfg.block_at:
+            lines.append(f"        ; -- block @{i} (unreachable)")
+        lines.append(f"{i:6d}: {format_instr(instr)}")
+        for f in by_index.get(i, ()):
+            lines.append(f"        ; ^ {f.severity.value} {f.rule}: "
+                         f"{f.message}")
+    return "\n".join(lines)

@@ -1,0 +1,472 @@
+"""The analyses built on the CFG + dataflow core (``repro check``).
+
+One combined abstract state is propagated forward through each function:
+
+* per-class abstract mapping tables (:class:`repro.rc.abstract.AbstractMap`)
+  under the machine's reset model — rules RC001/RC002/RC003/RC004;
+* the stack-pointer delta (exact integer or unknown) — rule CC001;
+* callee-save bookkeeping (written / pristine-saved / restored allocatable
+  core registers) — rule CC002;
+* the set of extended registers written since entry or the last call
+  (extended registers are caller-saved) — rule CC003.
+
+After the fixpoint, a reporting pass replays each reachable block from its
+fixed entry state and emits findings; a final whole-program pass flags dead
+connects, unreadable extended writes, and structural CFG problems.  All
+state joins are may-unions (map entries, written sets) or must-intersections
+(saved/restored/fresh sets), chosen so that no rule fires on a path that the
+machine cannot take — compiled benchmarks must come out clean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analyze.cfg import FuncCFG, ProgramCFG, build_cfg
+from repro.analyze.dataflow import DataflowResult, ForwardAnalysis, solve_forward
+from repro.analyze.findings import AnalysisReport, Finding
+from repro.isa.opcodes import Opcode, falls_through
+from repro.isa.registers import FP_RETVAL, INT_RETVAL, Imm, RClass
+from repro.rc.abstract import AbstractMap
+from repro.sim.config import MachineConfig
+from repro.sim.program import MachineProgram
+
+_CLASSES = (RClass.INT, RClass.FP)
+
+
+class _State:
+    """The combined abstract state at one program point."""
+
+    __slots__ = ("maps", "sp", "written", "saved", "restored", "fresh",
+                 "defined")
+
+    def __init__(self, maps: dict[RClass, AbstractMap], sp: int | None,
+                 written: frozenset, saved: frozenset, restored: frozenset,
+                 fresh: frozenset, defined: frozenset | None) -> None:
+        self.maps = maps
+        self.sp = sp  # allocated stack words; None = unknown
+        self.written = written  # (cls, num): allocatable core regs written
+        self.saved = saved  # (cls, num): pristine-stored to the frame
+        self.restored = restored  # (cls, num): reloaded from the frame
+        self.fresh = fresh  # (cls, num): extended regs valid across here
+        #: (cls, num) physical registers holding a deliberately-written value
+        #: on every path from the function entry; ``None`` means all of them
+        #: (trap handlers run in an arbitrary caller context).
+        self.defined = defined
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, _State):
+            return NotImplemented
+        return (self.sp == other.sp and self.written == other.written
+                and self.saved == other.saved
+                and self.restored == other.restored
+                and self.fresh == other.fresh
+                and self.defined == other.defined and self.maps == other.maps)
+
+
+class _Checker(ForwardAnalysis):
+    """Transfer functions mirroring the simulator's per-instruction effects."""
+
+    def __init__(self, program: MachineProgram, config: MachineConfig) -> None:
+        self.program = program
+        self.config = config
+        self.mapped = {
+            cls: config.spec_for(cls) for cls in _CLASSES
+            if config.spec_for(cls).has_rc
+        }
+        self.allocatable = {
+            cls: frozenset(config.spec_for(cls).allocatable_core())
+            for cls in _CLASSES
+        }
+
+    # -- resolution helpers ---------------------------------------------------
+
+    def entries_of(self, cls: RClass) -> int:
+        spec = self.mapped.get(cls)
+        return spec.core if spec is not None else 0
+
+    def read_entry(self, state: _State, cls: RClass, num: int):
+        """Abstract (phys, site) set a source operand resolves to."""
+        if num < self.entries_of(cls):
+            return state.maps[cls].read_entry(num), True
+        return frozenset({(num, None)}), False
+
+    def write_entry(self, state: _State, cls: RClass, num: int):
+        """Abstract (phys, site) set a destination operand resolves to."""
+        if num < self.entries_of(cls):
+            return state.maps[cls].write_entry(num), True
+        return frozenset({(num, None)}), False
+
+    # -- ForwardAnalysis interface --------------------------------------------
+
+    def boundary(self, fn: FuncCFG) -> _State:
+        maps = {cls: AbstractMap(spec.core, self.config.rc_model)
+                for cls, spec in self.mapped.items()}
+        # Only the stack pointer holds a meaningful value at entry (arguments
+        # arrive on the stack); a trap handler inherits the interrupted
+        # context, where any register may be live.
+        defined = None if fn.is_handler else frozenset({(RClass.INT, 0)})
+        return _State(maps=maps, sp=0, written=frozenset(),
+                      saved=frozenset(), restored=frozenset(),
+                      fresh=frozenset(), defined=defined)
+
+    def copy(self, state: _State) -> _State:
+        return _State(maps={cls: m.copy() for cls, m in state.maps.items()},
+                      sp=state.sp, written=state.written, saved=state.saved,
+                      restored=state.restored, fresh=state.fresh,
+                      defined=state.defined)
+
+    def join(self, a: _State, b: _State) -> _State:
+        for cls, m in a.maps.items():
+            m.join(b.maps[cls])
+        a.sp = a.sp if a.sp == b.sp else None
+        a.written = a.written | b.written
+        a.saved = a.saved & b.saved
+        a.restored = a.restored & b.restored
+        a.fresh = a.fresh & b.fresh
+        if a.defined is None:
+            a.defined = b.defined
+        elif b.defined is not None:
+            a.defined = a.defined & b.defined
+        return a
+
+    def transfer(self, state: _State, index: int, instr) -> _State:
+        op = instr.op
+
+        if instr.is_connect:
+            cls = instr.imm[0]
+            if cls in self.mapped:
+                amap = state.maps[cls]
+                for _cls, which, ri, rp in instr.connect_updates():
+                    if ri < amap.entries:
+                        amap.connect(which, ri, rp,
+                                     index if rp != ri else None)
+            return state
+
+        if op in (Opcode.CALL, Opcode.RET):
+            for m in state.maps.values():
+                m.reset_home()
+            if op is Opcode.CALL:
+                # Extended registers are caller-saved: the callee may
+                # clobber any of them.  The callee returns its result in the
+                # return-value registers.
+                state.fresh = frozenset()
+                if state.defined is not None:
+                    state.defined = state.defined | {
+                        (RClass.INT, INT_RETVAL.num),
+                        (RClass.FP, FP_RETVAL.num),
+                    }
+            return state
+
+        # Model 5: reads are one-shot connections.
+        for src in instr.reg_srcs():
+            if src.cls in self.mapped and src.num < self.entries_of(src.cls):
+                state.maps[src.cls].after_read(src.num)
+
+        self._track_frame(state, index, instr)
+
+        dest = instr.dest
+        if dest is not None:
+            entry, mapped = self.write_entry(state, dest.cls, dest.num)
+            targets = {p for p, _ in entry}
+            core = self.config.spec_for(dest.cls).core
+            alloc = self.allocatable[dest.cls]
+            adds_written = frozenset(
+                (dest.cls, p) for p in targets if p in alloc)
+            if adds_written:
+                state.written = state.written | adds_written
+            adds_fresh = frozenset(
+                (dest.cls, p) for p in targets if p >= core)
+            if adds_fresh:
+                state.fresh = state.fresh | adds_fresh
+            if state.defined is not None and len(targets) == 1:
+                # Only an unambiguous write is a definite definition.
+                state.defined = state.defined | {
+                    (dest.cls, next(iter(targets)))}
+            if mapped:
+                state.maps[dest.cls].after_write(dest.num)
+        return state
+
+    # -- frame / calling-convention tracking ----------------------------------
+
+    def save_pattern(self, state: _State, instr) -> tuple | None:
+        """Detect a callee-save store: a pristine allocatable core register
+        stored to the frame.  Returns its ``(cls, phys)`` key or ``None``.
+
+        The value operand of such a store legitimately reads a register this
+        function never wrote (it preserves the *caller's* value), so the
+        use-before-def rules exempt it.
+        """
+        if instr.op not in (Opcode.STORE, Opcode.FSTORE):
+            return None
+        value, base = instr.srcs
+        if isinstance(value, Imm) or not self._sp_resolved_home(state, base):
+            return None
+        entry, _ = self.read_entry(state, value.cls, value.num)
+        if len(entry) != 1:
+            return None
+        phys = next(iter(entry))[0]
+        key = (value.cls, phys)
+        if phys in self.allocatable[value.cls] and key not in state.written:
+            return key
+        return None
+
+    def _sp_resolved_home(self, state: _State, reg) -> bool:
+        """Whether *reg* is the stack pointer resolving to its home slot."""
+        if isinstance(reg, Imm) or reg.cls is not RClass.INT or reg.num != 0:
+            return False
+        entry, _ = self.read_entry(state, RClass.INT, 0)
+        return entry == frozenset({(0, None)})
+
+    def _track_frame(self, state: _State, index: int, instr) -> None:
+        op = instr.op
+
+        # Stack-pointer arithmetic: add/sub sp, sp, #k.
+        dest = instr.dest
+        if dest is not None and dest.cls is RClass.INT:
+            wentry, _ = self.write_entry(state, dest.cls, dest.num)
+            if any(p == 0 for p, _ in wentry):
+                exact = (
+                    op in (Opcode.ADD, Opcode.SUB)
+                    and wentry == frozenset({(0, None)})
+                    and len(instr.srcs) == 2
+                    and not isinstance(instr.srcs[0], Imm)
+                    and self._sp_resolved_home(state, instr.srcs[0])
+                    and isinstance(instr.srcs[1], Imm)
+                    and state.sp is not None
+                )
+                if exact:
+                    delta = instr.srcs[1].value
+                    state.sp = state.sp + (delta if op is Opcode.SUB
+                                           else -delta)
+                else:
+                    state.sp = None
+
+        # Callee-save discipline: a store of a not-yet-written allocatable
+        # core register to the frame is a save; the matching load back is
+        # its restore.
+        if op in (Opcode.STORE, Opcode.FSTORE):
+            key = self.save_pattern(state, instr)
+            if key is not None:
+                state.saved = state.saved | {key}
+        elif op in (Opcode.LOAD, Opcode.FLOAD):
+            base = instr.srcs[0]
+            if not self._sp_resolved_home(state, base):
+                return
+            entry, _ = self.write_entry(state, instr.dest.cls, instr.dest.num)
+            if len(entry) != 1:
+                return
+            phys = next(iter(entry))[0]
+            key = (instr.dest.cls, phys)
+            if key in state.saved:
+                state.restored = state.restored | {key}
+
+
+@dataclass
+class _Collector:
+    """Whole-program facts accumulated across the reporting walks."""
+
+    #: (site, which, index) connect updates used by some resolved access.
+    used_sites: set = field(default_factory=set)
+    #: (cls, phys) extended registers some access can read.
+    ext_readable: set = field(default_factory=set)
+    #: first write site per written extended register: (cls, phys) -> (i, fn).
+    ext_written: dict = field(default_factory=dict)
+
+
+def check_program(program: MachineProgram,
+                  config: MachineConfig) -> AnalysisReport:
+    """Run every static check on *program* and return the report."""
+    cfg = build_cfg(program)
+    checker = _Checker(program, config)
+    results = [
+        (fn, solve_forward(fn, checker, program.instrs))
+        for fn in cfg.functions
+    ]
+
+    collect = _Collector()
+    findings: set[Finding] = set()
+    for fn, result in results:
+        _report_function(checker, fn, result, collect, findings,
+                         config, program)
+
+    _report_dead_connects(checker, cfg, collect, findings)
+    _report_unreadable_ext(collect, findings)
+
+    report = AnalysisReport(
+        program_name=program.name,
+        model=config.rc_model.value if config.has_rc else 0,
+    )
+    suppress = getattr(program, "suppressions", {})
+    everywhere = suppress.get(-1, frozenset())
+    for f in sorted(findings, key=lambda f: (f.index, f.rule, f.message)):
+        if f.rule in everywhere or f.rule in suppress.get(f.index, ()):
+            report.suppressed += 1
+        else:
+            report.findings.append(f)
+    return report
+
+
+def _report_function(checker: _Checker, fn: FuncCFG, result: DataflowResult,
+                     collect: _Collector, findings: set[Finding],
+                     config: MachineConfig, program: MachineProgram) -> None:
+    core_of = {cls: config.spec_for(cls).core for cls in _CLASSES}
+    latency = config.latency
+    reachable = sorted(fn.reachable())
+
+    def emit(rule: str, index: int, message: str) -> None:
+        findings.add(Finding(rule=rule, index=index, function=fn.name,
+                             message=message))
+
+    def check_read(state: _State, i: int, reg,
+                   exempt_ubd: bool = False) -> frozenset:
+        """Check one source operand; returns its possible physical regs."""
+        entry, mapped = checker.read_entry(state, reg.cls, reg.num)
+        physset = frozenset(p for p, _ in entry)
+        core = core_of[reg.cls]
+        for p, site in entry:
+            if site is not None:
+                collect.used_sites.add((site, "read", reg.num))
+            if p >= core:
+                collect.ext_readable.add((reg.cls, p))
+        defined = state.defined
+        garbage = (defined is not None and not exempt_ubd
+                   and not any((reg.cls, p) in defined for p in physset))
+        if mapped:
+            if len(physset) > 1:
+                alts = ",".join(str(p) for p in sorted(physset))
+                emit("RC002", i,
+                     f"read of {reg!r} is path-dependent (may resolve to "
+                     f"physical {alts})")
+            if garbage:
+                emit("RC001", i,
+                     f"read of {reg!r} resolves to physical "
+                     f"{min(physset)} which holds no value written on any "
+                     f"path from function entry")
+        elif garbage:
+            emit("UBD001", i,
+                 f"read of {reg!r} before any definition reaches it")
+        if not garbage and defined is not None:
+            stale = sorted(p for p in physset
+                           if p >= core and (reg.cls, p) not in state.fresh)
+            if stale:
+                emit("CC003", i,
+                     f"read of extended physical {stale[0]} "
+                     f"({reg.cls.value}) which a call may have clobbered")
+        return physset
+
+    def check_block(block) -> None:
+        # (index, cls, physical targets, latency) of recent producers.
+        producers: list[tuple[int, RClass, frozenset, int]] = []
+
+        def visit(state: _State, i: int, instr) -> None:
+            op = instr.op
+            if instr.is_connect:
+                cls = instr.imm[0]
+                core = core_of[cls]
+                for _cls, which, _ri, rp in instr.connect_updates():
+                    if which == "read" and rp >= core:
+                        collect.ext_readable.add((cls, rp))
+                return
+            save_key = checker.save_pattern(state, instr)
+            src_phys: dict[RClass, set] = {}
+            for src in instr.reg_srcs():
+                exempt = save_key is not None and src is instr.srcs[0]
+                physset = check_read(state, i, src, exempt_ubd=exempt)
+                src_phys.setdefault(src.cls, set()).update(physset)
+            for pi, pcls, pset, lat in producers:
+                if i - pi < lat and src_phys.get(pcls, set()) & pset:
+                    emit("LAT001", i,
+                         f"depends on @{pi} ({program.instrs[pi].op.value}, "
+                         f"latency {lat}) at distance {i - pi}")
+            dest = instr.dest
+            if dest is not None:
+                entry, _ = checker.write_entry(state, dest.cls, dest.num)
+                for p, site in entry:
+                    if site is not None:
+                        collect.used_sites.add((site, "write", dest.num))
+                targets = frozenset(p for p, _ in entry)
+                ext = sorted(p for p in targets if p >= core_of[dest.cls])
+                for p in ext:
+                    collect.ext_written.setdefault((dest.cls, p), (i, fn.name))
+                lat = latency.of(op)
+                if lat > 1:
+                    producers.append((i, dest.cls, targets, lat))
+            if op is Opcode.RET:
+                if state.sp not in (None, 0):
+                    emit("CC001", i,
+                         f"stack delta is {state.sp} words at return")
+                if not fn.is_entry and not fn.is_handler:
+                    for cls, p in sorted(state.written - state.restored,
+                                         key=lambda k: (k[0].value, k[1])):
+                        emit("CC002", i,
+                             f"callee-saved {'r' if cls is RClass.INT else 'f'}"
+                             f"{p} modified but not restored before return")
+
+        result.walk(fn.blocks[block], visit)
+
+    for start in reachable:
+        check_block(start)
+
+    # Structural: control must not run off the end of the program, nor fall
+    # through the end of a compiler-delimited function body.
+    for start in reachable:
+        block = fn.blocks[start]
+        if block.falls_off_end:
+            emit("CFG001", block.end - 1,
+                 "control can fall off the end of the program")
+        elif program.func_ranges:
+            _lo, hi = program.func_ranges[fn.name]
+            last_op = program.instrs[block.end - 1].op
+            if block.end == hi and falls_through(last_op):
+                emit("CFG001", block.end - 1,
+                     f"control falls through the end of function {fn.name}")
+
+
+def _report_dead_connects(checker: _Checker, cfg: ProgramCFG,
+                          collect: _Collector,
+                          findings: set[Finding]) -> None:
+    """RC003: connects none of whose non-home updates are ever used."""
+    program = cfg.program
+    for i, instr in enumerate(program.instrs):
+        if not instr.is_connect:
+            continue
+        start = _containing_block(cfg, i)
+        block = cfg.block_at[start] if start is not None else None
+        if block is None or not block.func:
+            continue  # unreachable connect: dead code, not a dead mapping
+        updates = [(which, ri, rp) for _cls, which, ri, rp
+                   in instr.connect_updates() if rp != ri]
+        if not updates:
+            continue  # pure home-restore
+        if any((i, which, ri) in collect.used_sites
+               for which, ri, _rp in updates):
+            continue
+        which, ri, rp = updates[0]
+        findings.add(Finding(
+            rule="RC003", index=i, function=block.func,
+            message=(f"connect of index {ri} to physical {rp} ({which} map) "
+                     f"is never used before being reset or remapped"),
+        ))
+
+
+def _containing_block(cfg: ProgramCFG, index: int) -> int | None:
+    for start, block in cfg.block_at.items():
+        if block.start <= index < block.end:
+            return start
+    return None
+
+
+def _report_unreadable_ext(collect: _Collector,
+                           findings: set[Finding]) -> None:
+    """RC004: extended registers written but unreadable everywhere."""
+    for (cls, p), (i, fn_name) in sorted(
+            collect.ext_written.items(),
+            key=lambda kv: kv[1][0]):
+        if (cls, p) not in collect.ext_readable:
+            findings.add(Finding(
+                rule="RC004", index=i, function=fn_name,
+                message=(f"extended physical {p} ({cls.value}) is written "
+                         f"but never readable (no direct read and never a "
+                         f"connect-use target)"),
+            ))

@@ -1,0 +1,159 @@
+"""Finding types, the rule registry, and the analysis report.
+
+Every check emits :class:`Finding` objects carrying a stable rule id (see
+docs/CHECKS.md), the instruction index, and a one-line explanation.  Findings
+can be suppressed per instruction or per file with a ``; check: ignore=ID``
+comment in assembly source (see :mod:`repro.isa.asmparse`).
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Severity.{self.name}"
+
+
+@dataclass(frozen=True, slots=True)
+class Rule:
+    """A registered check with a stable id."""
+
+    id: str
+    severity: Severity
+    title: str
+
+
+#: All rule ids the analyzer can emit, with default severities.
+RULES: dict[str, Rule] = {
+    r.id: r
+    for r in [
+        Rule("CFG001", Severity.ERROR,
+             "control can fall off the end of the program"),
+        Rule("RC001", Severity.ERROR,
+             "read resolves to a physical register no path ever writes"),
+        Rule("RC002", Severity.WARNING,
+             "read through a path-dependent mapping-table entry"),
+        Rule("RC003", Severity.WARNING,
+             "connect mapping is dead (reset or overwritten before use)"),
+        Rule("RC004", Severity.WARNING,
+             "extended register is written but never readable"),
+        Rule("UBD001", Severity.WARNING,
+             "direct read of a register the program never writes"),
+        Rule("CC001", Severity.ERROR,
+             "stack pointer not balanced at return"),
+        Rule("CC002", Severity.ERROR,
+             "callee-saved register modified but not restored"),
+        Rule("CC003", Severity.WARNING,
+             "extended register read across a call without being rewritten"),
+        Rule("LAT001", Severity.INFO,
+             "dependent pair scheduled below the producer's latency"),
+    ]
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One diagnostic: a rule violation at a program point."""
+
+    rule: str
+    index: int  # instruction index (-1 for whole-program findings)
+    function: str
+    message: str
+
+    @property
+    def severity(self) -> Severity:
+        return RULES[self.rule].severity
+
+    def format(self) -> str:
+        where = f"@{self.index}" if self.index >= 0 else ""
+        loc = f"{self.function}{where}" if self.function else where or "program"
+        return f"{self.severity.value:7s} {self.rule} {loc}: {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "index": self.index,
+            "function": self.function,
+            "message": self.message,
+        }
+
+
+@dataclass
+class AnalysisReport:
+    """The outcome of :func:`repro.analyze.check_program` on one program."""
+
+    program_name: str
+    model: int  # RCModel value (0 when the machine has no RC)
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: int = 0
+
+    def by_severity(self, severity: Severity) -> list[Finding]:
+        return [f for f in self.findings if f.severity is severity]
+
+    @property
+    def errors(self) -> list[Finding]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def infos(self) -> list[Finding]:
+        return self.by_severity(Severity.INFO)
+
+    def clean(self, strict: bool = False) -> bool:
+        """Whether the report should be treated as passing.
+
+        Errors always fail; with *strict*, warnings and info findings
+        (notably LAT001 schedule diagnostics) fail too.
+        """
+        if self.errors:
+            return False
+        return not (strict and self.findings)
+
+    def exit_code(self, strict: bool = False) -> int:
+        return 0 if self.clean(strict) else 1
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for f in self.findings:
+            out[f.rule] = out.get(f.rule, 0) + 1
+        return out
+
+    def findings_at(self, index: int) -> list[Finding]:
+        return [f for f in self.findings if f.index == index]
+
+    def render(self) -> str:
+        lines = [f.format() for f in self.findings]
+        summary = (
+            f"{self.program_name} (model {self.model}): "
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s), "
+            f"{len(self.infos)} info"
+        )
+        if self.suppressed:
+            summary += f", {self.suppressed} suppressed"
+        lines.append(summary)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "program": self.program_name,
+            "model": self.model,
+            "findings": [f.to_dict() for f in self.findings],
+            "suppressed": self.suppressed,
+            "counts": self.counts(),
+            "clean": self.clean(),
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)

@@ -23,6 +23,7 @@ import argparse
 import json
 import sys
 
+from repro.analyze import annotate_listing, check_program
 from repro.compiler import CompileOptions, OptOptions, compile_module
 from repro.compiler.regalloc.allocator import AllocationOptions
 from repro.experiments import ALL_FIGURES, ExperimentRunner, SweepExecutor
@@ -153,12 +154,81 @@ def cmd_run(args) -> int:
 
 
 def cmd_disasm(args) -> int:
-    _w, _module, _config, out = _compile_benchmark(args)
-    listing = format_listing(out.program.instrs)
+    _w, _module, config, out = _compile_benchmark(args)
+    if args.annotate:
+        report = check_program(out.program, config)
+        listing = annotate_listing(out.program, config, report)
+    else:
+        listing = format_listing(out.program.instrs)
     if args.head:
         listing = "\n".join(listing.splitlines()[: args.head])
     print(listing)
     return 0
+
+
+def _check_one(program, config, args, label: str, runs: list) -> int:
+    report = check_program(program, config)
+    runs.append({"target": label, "machine": config.describe(),
+                 **report.to_dict()})
+    if not args.json:
+        status = "clean" if report.clean(args.strict) else "FAIL"
+        print(f"== {label} [{config.describe()}]: {status}")
+        for f in report.findings:
+            print(f"   {f.format()}")
+    return report.exit_code(args.strict)
+
+
+def cmd_check(args) -> int:
+    models = ([int(m) for m in args.models.split(",")]
+              if args.models else None)
+    runs: list[dict] = []
+    status = 0
+
+    if args.target.endswith(".s"):
+        with open(args.target) as fh:
+            program = parse_program(fh.read())
+        for model in models or [args.model]:
+            args.model = model
+            config = _build_machine(args, "int")
+            status |= _check_one(program, config, args, args.target, runs)
+    else:
+        names = (list(ALL_BENCHMARKS) if args.target == "all"
+                 else [args.target])
+        for name in names:
+            if name not in ALL_BENCHMARKS:
+                print(f"unknown benchmark {name!r}", file=sys.stderr)
+                return 2
+            w = workload(name)
+            module = w.module(args.scale)
+            for model in models or [args.model]:
+                args.model = model
+                if models:
+                    # Matrix mode: the reset model only matters with RC, so
+                    # apply the extension to the benchmark's register class.
+                    args.rc = True
+                config = _build_machine(args, w.kind)
+                out = compile_module(module, config, _build_options(args))
+                status |= _check_one(out.program, config, args,
+                                     f"{name} model {model}", runs)
+
+    payload = {"strict": args.strict, "clean": status == 0, "runs": runs}
+    if args.json:
+        text = json.dumps(payload, indent=2)
+        if args.output:
+            with open(args.output, "w") as fh:
+                fh.write(text + "\n")
+            print(f"wrote {len(runs)} check report(s) to {args.output}",
+                  file=sys.stderr)
+        else:
+            print(text)
+    else:
+        total = sum(len(r["findings"]) for r in runs)
+        print(f"{len(runs)} run(s), {total} finding(s): "
+              f"{'clean' if status == 0 else 'FAIL'}")
+        if args.output:
+            with open(args.output, "w") as fh:
+                fh.write(json.dumps(payload, indent=2) + "\n")
+    return status
 
 
 def cmd_asm(args) -> int:
@@ -315,9 +385,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("benchmark", choices=ALL_BENCHMARKS)
     p.add_argument("--head", type=int, default=0,
                    help="print only the first N instructions")
+    p.add_argument("--annotate", action="store_true",
+                   help="interleave static-check findings and abstract "
+                        "map state at block entries")
     _machine_args(p)
     _compile_args(p)
     p.set_defaults(fn=cmd_disasm)
+
+    p = sub.add_parser(
+        "check",
+        help="statically check compiled or assembled machine code")
+    p.add_argument("target",
+                   help="benchmark name, 'all', or a .s assembly file")
+    p.add_argument("--models", default="",
+                   help="comma-separated reset models to sweep (e.g. "
+                        "1,2,3,4); enables RC for each benchmark's class")
+    p.add_argument("--strict", action="store_true",
+                   help="fail on warnings and schedule diagnostics "
+                        "(LAT001), not just errors")
+    p.add_argument("--json", action="store_true",
+                   help="emit machine-readable JSON reports")
+    p.add_argument("-o", "--output", default=None,
+                   help="also write the JSON report to this file")
+    _machine_args(p)
+    _compile_args(p)
+    p.set_defaults(fn=cmd_check)
 
     p = sub.add_parser("asm", help="assemble and simulate a .s file")
     p.add_argument("file")

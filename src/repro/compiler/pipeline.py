@@ -54,6 +54,9 @@ class CompileOptions:
     schedule: bool = True
     #: Step limit for the profiling interpretation.
     profile_step_limit: int = 50_000_000
+    #: Run the static checker (:mod:`repro.analyze`) on the generated
+    #: machine code and fail compilation on any error-severity finding.
+    check: bool = False
 
 
 @dataclass
@@ -243,6 +246,22 @@ def compile_module(module: Module, config: MachineConfig,
 
     with maybe_measure(metrics, "layout", work):
         program = lower_module(work, entry=entry, name=module.name)
+
+    if options.check:
+        # Imported here: repro.analyze consumes machine programs and is not
+        # otherwise a compiler dependency.
+        from repro.analyze import check_program
+        from repro.errors import CompileError
+
+        with maybe_measure(metrics, "check", work):
+            report = check_program(program, config)
+        if report.errors:
+            details = "\n".join(f.format() for f in report.errors)
+            raise CompileError(
+                f"static check failed with {len(report.errors)} error(s):\n"
+                f"{details}"
+            )
+
     counts = program.static_counts()
     stats.total_instructions = len(program)
     stats.program_instructions = counts.get(None, 0)

@@ -17,6 +17,14 @@ def _operand_class(operand) -> RClass | None:
     return None  # immediate
 
 
+def _value_class(operand) -> RClass:
+    """Operand class with immediates classified by their Python type."""
+    cls = _operand_class(operand)
+    if cls is not None:
+        return cls
+    return RClass.FP if isinstance(operand.value, float) else RClass.INT
+
+
 def _check_instr(fn: Function, instr: Instr, where: str,
                  module: Module | None) -> None:
     s = spec(instr.op)
@@ -38,8 +46,7 @@ def _check_instr(fn: Function, instr: Instr, where: str,
         if len(instr.srcs) > 1:
             raise IRError(f"{where}: ret takes at most one value")
         if instr.srcs and fn.ret_class is not None:
-            cls = _operand_class(instr.srcs[0]) or RClass.INT
-            if cls is not fn.ret_class:
+            if _value_class(instr.srcs[0]) is not fn.ret_class:
                 raise IRError(f"{where}: ret value class mismatch")
     else:
         if len(instr.srcs) != len(s.srcs):
@@ -77,8 +84,14 @@ def _check_instr(fn: Function, instr: Instr, where: str,
         if len(imm) != expected_len:
             raise IRError(f"{where}: malformed connect immediate {imm!r}")
 
-    # Calls against the callee signature.
-    if instr.op is Opcode.CALL and module is not None:
+    # Calls against the callee signature.  The structural part (a call must
+    # name its callee) holds whether or not the surrounding module is known;
+    # signature matching additionally needs the module.
+    if instr.op is Opcode.CALL:
+        if not instr.label:
+            raise IRError(f"{where}: call without a callee label")
+        if module is None:
+            return
         if instr.label not in module.functions:
             raise IRError(f"{where}: call to unknown function {instr.label!r}")
         callee = module.functions[instr.label]
@@ -88,8 +101,7 @@ def _check_instr(fn: Function, instr: Instr, where: str,
                 f"args, expected {len(callee.params)}"
             )
         for operand, param in zip(instr.srcs, callee.params):
-            cls = _operand_class(operand) or RClass.INT
-            if cls is not param.cls:
+            if _value_class(operand) is not param.cls:
                 raise IRError(f"{where}: argument class mismatch calling "
                               f"{callee.name}")
         if instr.dest is not None:
@@ -103,7 +115,12 @@ def verify_function(fn: Function, module: Module | None = None) -> None:
     """Raise :class:`~repro.errors.IRError` if *fn* is malformed."""
     if not fn.blocks:
         raise IRError(f"function {fn.name} has no blocks")
-    names = {b.name for b in fn.blocks}
+    names: set[str] = set()
+    for block in fn.blocks:
+        if block.name in names:
+            raise IRError(f"function {fn.name} has duplicate block "
+                          f"label {block.name!r}")
+        names.add(block.name)
     for block in fn.blocks:
         where_base = f"{fn.name}/{block.name}"
         if not block.instrs:

@@ -36,6 +36,10 @@ from repro.isa.opcodes import Opcode, spec
 from repro.isa.registers import Imm, PhysReg, RClass
 
 _OPCODES = {op.value: op for op in Opcode}
+#: Static-checker suppression comment: ``; check: ignore=LAT001,RC003``.
+#: Inline after an instruction it applies to that instruction; on a line of
+#: its own it applies to the whole file.
+_SUPPRESS_RE = re.compile(r"[;#]\s*check:\s*ignore=([A-Za-z0-9_, ]+)")
 _LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):$")
 _REG_RE = re.compile(r"^(r|f)(\d+)$")
 _MEM_RE = re.compile(r"^(-?\d+)\(([^)]+)\)$")
@@ -201,10 +205,16 @@ def parse_program(text: str):
     memory: dict[int, int | float] = {}
     handlers: dict[int, str] = {}
     entry_label: str | None = None
+    suppressions: dict[int, frozenset[str]] = {}
 
     for lineno, raw in enumerate(text.splitlines(), start=1):
+        sm = _SUPPRESS_RE.search(raw)
+        ignored = (frozenset(p.strip() for p in sm.group(1).split(",")
+                             if p.strip()) if sm else None)
         line = _strip_comment(raw)
         if not line:
+            if ignored:  # suppression on its own line: whole file
+                suppressions[-1] = suppressions.get(-1, frozenset()) | ignored
             continue
         if line.startswith(".entry"):
             entry_label = line.split()[1]
@@ -230,6 +240,9 @@ def parse_program(text: str):
             labels[name] = len(instrs)
             continue
         instrs.append(parse_instr(line, lineno))
+        if ignored:
+            index = len(instrs) - 1
+            suppressions[index] = suppressions.get(index, frozenset()) | ignored
 
     trap_handlers = {}
     for vector, label in handlers.items():
@@ -242,4 +255,5 @@ def parse_program(text: str):
             raise AsmError(f"unknown entry label {entry_label!r}")
         entry = labels[entry_label]
     return assemble(instrs, labels=labels, initial_memory=memory,
-                    entry=entry, trap_handlers=trap_handlers)
+                    entry=entry, trap_handlers=trap_handlers,
+                    suppressions=suppressions)

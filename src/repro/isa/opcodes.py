@@ -248,3 +248,21 @@ CONNECT_OPS = frozenset(
 def spec(op: Opcode) -> OpSpec:
     """Return the :class:`OpSpec` for *op*."""
     return SPECS[op]
+
+
+def ends_block(op: Opcode) -> bool:
+    """Whether *op* terminates a machine basic block.
+
+    Every control transfer ends a block, including CALL and TRAP (whose
+    intraprocedural successor is the following instruction).
+    """
+    return op in CONTROL_OPS
+
+
+def falls_through(op: Opcode) -> bool:
+    """Whether control can continue to the next instruction after *op*.
+
+    Unconditional jumps, returns, and halts never fall through; conditional
+    branches, calls, and traps (whose handlers return via ``rte``) do.
+    """
+    return op not in (Opcode.JMP, Opcode.RET, Opcode.HALT, Opcode.RTE)

@@ -1,5 +1,6 @@
 """Register Connection architectural support: mapping table, PSW, contexts."""
 
+from repro.rc.abstract import AbstractMap
 from repro.rc.context import (
     ClassContext,
     ProcessContext,
@@ -11,6 +12,7 @@ from repro.rc.models import DEFAULT_MODEL, RCModel
 from repro.rc.psw import MAP_ENABLE_BIT, PSW, RC_MODE_BIT
 
 __all__ = [
+    "AbstractMap",
     "ClassContext",
     "DEFAULT_MODEL",
     "MAP_ENABLE_BIT",

@@ -34,6 +34,9 @@ class MachineProgram:
     name: str = "program"
     #: function name -> (start, end) instruction index range.
     func_ranges: dict[str, tuple[int, int]] = field(default_factory=dict)
+    #: static-checker suppressions from ``; check: ignore=RULE`` assembly
+    #: comments: instruction index -> rule ids (-1 applies file-wide).
+    suppressions: dict[int, frozenset[str]] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if len(self.targets) != len(self.instrs):

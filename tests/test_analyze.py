@@ -1,0 +1,470 @@
+"""Tests for the static analyzer: CFG recovery, dataflow, checks, rules."""
+
+import pytest
+
+from repro.analyze import (
+    RULES,
+    ForwardAnalysis,
+    Severity,
+    annotate_listing,
+    build_cfg,
+    check_program,
+    solve_forward,
+)
+from repro.compiler.pipeline import CompileOptions, compile_module
+from repro.isa import Instr, Opcode, RClass
+from repro.isa.asmparse import parse_program
+from repro.rc import RCModel
+from repro.sim.config import paper_machine
+from repro.workloads import workload
+
+from helpers import sum_to_n_module
+
+ALL_MODELS = [1, 2, 3, 4, 5]
+
+
+def machine(model=3, rc=True, cls=RClass.INT):
+    return paper_machine(int_core=16, fp_core=32,
+                         rc_class=cls if rc else None,
+                         rc_model=RCModel(model))
+
+
+def check_asm(text, model=3, rc=True):
+    program = parse_program(text)
+    return program, check_program(program, machine(model, rc))
+
+
+# ---------------------------------------------------------------------------
+# CFG recovery
+
+
+DIAMOND = """
+start:
+    li r5, 1
+    blt r5, 10 -> left
+    li r6, 2
+    li r8, 8
+    jmp merge
+left:
+    li r7, 3
+    li r8, 9
+merge:
+    add r9, r8, 1
+    halt
+"""
+
+LOOP = """
+start:
+    li r5, 0
+    li r6, 1
+loop:
+    add r5, r5, r6
+    add r6, r6, 1
+    blt r6, 11 -> loop
+    halt
+"""
+
+DEAD_BLOCK = """
+start:
+    li r5, 1
+    jmp end
+    li r6, 2
+end:
+    halt
+"""
+
+
+class TestCFG:
+    def test_diamond_shape(self):
+        cfg = build_cfg(parse_program(DIAMOND))
+        assert len(cfg.functions) == 1
+        fn = cfg.functions[0]
+        assert fn.is_entry
+        blocks = fn.blocks
+        assert len(blocks) == 4
+        entry = blocks[fn.entry]
+        assert len(entry.succs) == 2  # taken + fall-through
+        merge = max(blocks.values(), key=lambda b: b.start)
+        starts = {b.start for b in blocks.values()}
+        preds_of_merge = [s for s in starts
+                          if merge.start in blocks[s].succs]
+        assert len(preds_of_merge) == 2
+
+    def test_loop_backedge(self):
+        cfg = build_cfg(parse_program(LOOP))
+        fn = cfg.functions[0]
+        loop = fn.blocks[2]  # after the two li instructions
+        assert loop.start in loop.succs  # self loop
+
+    def test_unreachable_block_partitioned_but_not_reachable(self):
+        cfg = build_cfg(parse_program(DEAD_BLOCK))
+        fn = cfg.functions[0]
+        assert 2 in cfg.block_at  # the dead li starts a block...
+        assert 2 not in fn.reachable()  # ...that no path enters
+
+    def test_function_partition_from_calls(self):
+        program = parse_program("""
+start:
+    call f
+    halt
+f:
+    li r5, 1
+    ret
+""")
+        cfg = build_cfg(program)
+        assert len(cfg.functions) == 2
+        entries = [fn for fn in cfg.functions if fn.is_entry]
+        assert len(entries) == 1
+        assert cfg.block_of(2) is not None
+
+
+# ---------------------------------------------------------------------------
+# Dataflow framework on hand-built analyses
+
+
+class MayDefined(ForwardAnalysis):
+    """Union lattice: registers written on *some* path."""
+
+    def boundary(self, fn):
+        return frozenset()
+
+    def join(self, a, b):
+        return a | b
+
+    def copy(self, state):
+        return state
+
+    def transfer(self, state, index, instr):
+        if instr.dest is not None:
+            state = state | {instr.dest.num}
+        return state
+
+
+class MustDefined(MayDefined):
+    """Intersection lattice: registers written on *every* path."""
+
+    def join(self, a, b):
+        return a & b
+
+
+class TestDataflow:
+    def _solve(self, text, analysis):
+        program = parse_program(text)
+        fn = build_cfg(program).functions[0]
+        return fn, solve_forward(fn, analysis, program.instrs)
+
+    def test_diamond_may_union(self):
+        fn, result = self._solve(DIAMOND, MayDefined())
+        merge = max(fn.blocks)
+        assert result.block_in[merge] == {5, 6, 7, 8}
+
+    def test_diamond_must_intersection(self):
+        fn, result = self._solve(DIAMOND, MustDefined())
+        merge = max(fn.blocks)
+        # r6 and r7 are each written on only one arm; r5 and r8 on both.
+        assert result.block_in[merge] == {5, 8}
+
+    def test_loop_reaches_fixpoint(self):
+        fn, result = self._solve(LOOP, MayDefined())
+        assert result.block_in[2] == {5, 6}  # loop header
+        exit_block = max(fn.blocks)
+        assert result.block_in[exit_block] == {5, 6}
+
+    def test_unreachable_block_left_at_bottom(self):
+        fn, result = self._solve(DEAD_BLOCK, MayDefined())
+        assert 2 not in result.block_in
+
+    def test_walk_replays_block(self):
+        fn, result = self._solve(LOOP, MayDefined())
+        seen = []
+        result.walk(fn.blocks[fn.entry],
+                    lambda state, i, instr: seen.append((i, state)))
+        assert seen[0] == (0, frozenset())
+        assert seen[1] == (1, frozenset({5}))
+
+    def test_out_state(self):
+        fn, result = self._solve(LOOP, MayDefined())
+        assert result.out_state(fn.blocks[fn.entry]) == {5, 6}
+
+
+# ---------------------------------------------------------------------------
+# Adversarial fixtures: one rule each
+
+
+class TestRules:
+    def assert_only(self, report, rule):
+        assert report.counts() == {rule: 1}, report.render()
+
+    def test_cfg001_falls_off_end(self):
+        _, report = check_asm("start:\n    li r5, 1\n")
+        self.assert_only(report, "CFG001")
+        assert not report.clean()
+
+    @pytest.mark.parametrize("model", ALL_MODELS)
+    def test_rc001_read_of_never_written_phys(self, model):
+        _, report = check_asm("""
+start:
+    connect_use ri5, rp20
+    add r6, r5, 1
+    halt
+""", model=model)
+        self.assert_only(report, "RC001")
+        assert report.findings[0].severity is Severity.ERROR
+
+    @pytest.mark.parametrize("model", ALL_MODELS)
+    def test_rc002_path_dependent_read(self, model):
+        _, report = check_asm("""
+start:
+    li r20, 7
+    li r21, 9
+    li r5, 1
+    blt r5, 10 -> left
+    connect_use ri6, rp20
+    jmp merge
+left:
+    connect_use ri6, rp21
+merge:
+    add r7, r6, 1
+    halt
+""", model=model)
+        self.assert_only(report, "RC002")
+
+    @pytest.mark.parametrize("model", ALL_MODELS)
+    def test_rc003_dead_connect(self, model):
+        _, report = check_asm("""
+start:
+    li r5, 1
+    connect_use ri6, rp20
+    halt
+""", model=model)
+        self.assert_only(report, "RC003")
+
+    def test_rc004_unreadable_ext_write(self):
+        _, report = check_asm("""
+start:
+    li r20, 7
+    halt
+""")
+        self.assert_only(report, "RC004")
+
+    def test_ubd001_direct_read_before_def(self):
+        _, report = check_asm("""
+start:
+    add r6, r5, 1
+    halt
+""", rc=False)
+        self.assert_only(report, "UBD001")
+
+    def test_cc001_unbalanced_sp(self):
+        _, report = check_asm("""
+start:
+    call f
+    halt
+f:
+    sub r0, r0, 8
+    ret
+""", rc=False)
+        self.assert_only(report, "CC001")
+
+    def test_cc002_clobbered_callee_saved(self):
+        _, report = check_asm("""
+start:
+    call f
+    halt
+f:
+    li r5, 1
+    ret
+""", rc=False)
+        self.assert_only(report, "CC002")
+
+    def test_cc002_save_restore_is_clean(self):
+        _, report = check_asm("""
+start:
+    call f
+    halt
+f:
+    sub r0, r0, 1
+    store r5, 0(r0)
+    li r5, 1
+    load r5, 0(r0)
+    add r0, r0, 1
+    ret
+""", rc=False)
+        assert report.counts() == {}, report.render()
+
+    @pytest.mark.parametrize("model", ALL_MODELS)
+    def test_cc003_ext_read_across_call(self, model):
+        _, report = check_asm("""
+start:
+    connect_def ri6, rp20
+    li r6, 7
+    call f
+    connect_use ri6, rp20
+    add r7, r6, 1
+    halt
+f:
+    ret
+""", model=model)
+        self.assert_only(report, "CC003")
+
+    def test_lat001_dependent_pair_below_latency(self):
+        _, report = check_asm("""
+start:
+    li r5, 2048
+    store r5, 0(r5)
+    load r6, 0(r5)
+    add r7, r6, 1
+    halt
+""", rc=False)
+        self.assert_only(report, "LAT001")
+        assert report.findings[0].severity is Severity.INFO
+
+    def test_every_registered_rule_is_covered(self):
+        # The fixtures above exercise the whole registry.
+        assert set(RULES) == {"CFG001", "RC001", "RC002", "RC003", "RC004",
+                              "UBD001", "CC001", "CC002", "CC003", "LAT001"}
+
+
+# ---------------------------------------------------------------------------
+# Suppressions, strict mode, report plumbing
+
+
+LAT_TEXT = """
+start:
+    li r5, 2048
+    store r5, 0(r5)
+    load r6, 0(r5)
+    add r7, r6, 1{suffix}
+    halt
+"""
+
+
+class TestSuppressionsAndStrict:
+    def test_inline_suppression(self):
+        text = LAT_TEXT.format(suffix="    ; check: ignore=LAT001")
+        _, report = check_asm(text, rc=False)
+        assert report.counts() == {}
+        assert report.suppressed == 1
+
+    def test_file_wide_suppression(self):
+        text = "; check: ignore=LAT001\n" + LAT_TEXT.format(suffix="")
+        _, report = check_asm(text, rc=False)
+        assert report.counts() == {}
+        assert report.suppressed == 1
+
+    def test_suppression_is_rule_specific(self):
+        text = LAT_TEXT.format(suffix="    ; check: ignore=RC001")
+        _, report = check_asm(text, rc=False)
+        assert report.counts() == {"LAT001": 1}
+        assert report.suppressed == 0
+
+    def test_strict_fails_on_info(self):
+        _, report = check_asm(LAT_TEXT.format(suffix=""), rc=False)
+        assert report.clean() and not report.clean(strict=True)
+        assert report.exit_code() == 0
+        assert report.exit_code(strict=True) == 1
+
+    def test_errors_fail_even_without_strict(self):
+        _, report = check_asm("start:\n    li r5, 1\n")
+        assert not report.clean()
+        assert report.exit_code() == 1
+
+    def test_report_serialization(self):
+        _, report = check_asm(LAT_TEXT.format(suffix=""), rc=False)
+        d = report.to_dict()
+        assert d["counts"] == {"LAT001": 1}
+        assert d["findings"][0]["severity"] == "info"
+        assert "LAT001" in report.render()
+
+
+# ---------------------------------------------------------------------------
+# Annotated listings
+
+
+class TestAnnotate:
+    def test_listing_interleaves_blocks_and_findings(self):
+        program, report = check_asm("""
+start:
+    li r9, 1
+    connect_use ri5, rp20
+    blt r9, 10 -> next
+next:
+    add r6, r5, 1
+    halt
+""", model=1)
+        listing = annotate_listing(program, machine(1), report)
+        assert "; -- block @0" in listing
+        assert "RC001" in listing
+        assert "r5->p20" in listing  # abstract map state at block entry
+
+    def test_unreachable_block_is_labelled(self):
+        program, report = check_asm(DEAD_BLOCK, rc=False)
+        listing = annotate_listing(program, machine(rc=False), report)
+        assert "(unreachable)" in listing
+
+
+# ---------------------------------------------------------------------------
+# Whole-benchmark checks and mutation sensitivity
+
+
+def compile_bench(name, model, *, int_core=16, fp_core=32):
+    w = workload(name)
+    config = paper_machine(
+        int_core=int_core, fp_core=fp_core,
+        rc_class=RClass.INT if w.kind == "int" else RClass.FP,
+        rc_model=RCModel(model),
+    )
+    out = compile_module(w.module(1), config)
+    return out, config
+
+
+class TestBenchmarks:
+    @pytest.mark.parametrize("name,model", [("cmp", 3), ("grep", 1),
+                                            ("eqntott", 4)])
+    def test_compiled_benchmark_is_clean(self, name, model):
+        out, config = compile_bench(name, model)
+        report = check_program(out.program, config)
+        assert not report.errors and not report.warnings, report.render()
+
+    def test_nopped_connect_is_caught(self):
+        # Deleting one connect from a compiled program must surface as an
+        # RC-map finding: the read that depended on it now resolves to a
+        # window home the function never wrote (RC001) or to a
+        # path-dependent entry (RC002).
+        out, config = compile_bench("eqntott", 4)
+        program = out.program
+        sites = [i for i, instr in enumerate(program.instrs)
+                 if instr.op in (Opcode.CUSE, Opcode.CUU)]
+        assert sites
+        caught = 0
+        for i in sites:
+            saved = program.instrs[i]
+            program.instrs[i] = Instr(Opcode.NOP)
+            report = check_program(program, config)
+            program.instrs[i] = saved
+            if {"RC001", "RC002"} & set(report.counts()):
+                caught += 1
+        assert caught > 0
+
+    def test_compile_with_check_option(self):
+        config = paper_machine()
+        out = compile_module(sum_to_n_module(), config,
+                             CompileOptions(check=True))
+        assert len(out.program) > 0
+
+    def test_check_failure_aborts_compilation(self, monkeypatch):
+        import repro.analyze as analyze
+        from repro.analyze.findings import AnalysisReport, Finding
+        from repro.errors import CompileError
+
+        def fake_check(program, config):
+            report = AnalysisReport(program_name="x", model=0)
+            report.findings.append(Finding(rule="CFG001", index=0,
+                                           function="main",
+                                           message="injected"))
+            return report
+
+        monkeypatch.setattr(analyze, "check_program", fake_check)
+        with pytest.raises(CompileError, match="static check failed"):
+            compile_module(sum_to_n_module(), paper_machine(),
+                           CompileOptions(check=True))

@@ -190,3 +190,72 @@ class TestSweepCpi:
         assert main(["sweep", "figure7", "--benchmarks", "cmp",
                      "--jobs", "1", "--cpi"]) == 0
         assert "cpi mix:" in capsys.readouterr().out
+
+
+LATENT_HAZARD = """
+start:
+    li r5, 2048
+    store r5, 0(r5)
+    load r6, 0(r5)
+    add r7, r6, 1
+    halt
+"""
+
+
+class TestCheck:
+    def test_check_benchmark_clean(self, capsys):
+        assert main(["check", "cmp", "--rc", "--model", "3"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_check_matrix_json_output(self, tmp_path, capsys):
+        import json
+        target = tmp_path / "findings.json"
+        assert main(["check", "cmp", "--models", "1,4", "--json",
+                     "-o", str(target)]) == 0
+        captured = capsys.readouterr()
+        assert str(target) in captured.err
+        payload = json.loads(target.read_text())
+        assert payload["clean"] is True
+        assert len(payload["runs"]) == 2
+        assert {run["model"] for run in payload["runs"]} == {1, 4}
+
+    def test_check_asm_strict_fails_on_info(self, tmp_path):
+        src = tmp_path / "hazard.s"
+        src.write_text(LATENT_HAZARD)
+        assert main(["check", str(src)]) == 0
+        assert main(["check", str(src), "--strict"]) == 1
+
+    def test_check_asm_error_fails_without_strict(self, tmp_path, capsys):
+        src = tmp_path / "bad.s"
+        src.write_text("start:\n    li r5, 1\n")  # falls off the end
+        assert main(["check", str(src)]) == 1
+        assert "CFG001" in capsys.readouterr().out
+
+    def test_check_json_stdout(self, tmp_path, capsys):
+        import json
+        src = tmp_path / "hazard.s"
+        src.write_text(LATENT_HAZARD)
+        assert main(["check", str(src), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["runs"][0]["counts"] == {"LAT001": 1}
+
+    def test_check_unknown_benchmark(self, capsys):
+        assert main(["check", "doom"]) == 2
+
+    def test_check_shipped_examples_are_clean(self, capsys):
+        import pathlib
+        asm_dir = pathlib.Path(__file__).resolve().parent.parent \
+            / "examples" / "asm"
+        assert main(["check", str(asm_dir / "sum_loop.s"),
+                     "--models", "1,2,3,4,5"]) == 0
+        assert main(["check", str(asm_dir / "connect_demo.s"), "--rc",
+                     "--models", "1,2,3,4,5"]) == 0
+
+
+class TestDisasmAnnotate:
+    def test_annotate_interleaves_blocks(self, capsys):
+        assert main(["disasm", "cmp", "--rc", "--int-core", "8",
+                     "--annotate"]) == 0
+        out = capsys.readouterr().out
+        assert "; -- block @" in out
+        assert "map:" in out

@@ -256,6 +256,45 @@ class TestVerifier:
         with pytest.raises(IRError):
             verify_function(b.fn)
 
+    def test_duplicate_block_labels_rejected(self):
+        # new_block() refuses duplicates, but direct list surgery (as some
+        # passes do) can still produce them; the verifier must catch that.
+        from repro.ir.function import BasicBlock
+
+        m = Module()
+        b = FnBuilder(m, "f")
+        b.li(1)
+        b.halt()
+        dup = BasicBlock("entry")
+        dup.instrs.append(Instr(Opcode.HALT))
+        b.fn.blocks.append(dup)
+        with pytest.raises(IRError, match="duplicate block label"):
+            verify_function(b.fn)
+
+    def test_call_label_required_without_module(self):
+        m = call_module()
+        main = m.function("main")
+        call = next(i for _, i in main.iter_instrs() if i.op is Opcode.CALL)
+        call.label = None
+        with pytest.raises(IRError, match="callee label"):
+            verify_function(main)  # structural check runs module-free
+
+    def test_call_float_imm_arg_classified_fp(self):
+        m = Module()
+        g = FnBuilder(m, "g", params=[("f", "x")])
+        g.ret()
+        g.done()
+        b = FnBuilder(m, "main")
+        b.li(0)
+        call = Instr(Opcode.CALL, srcs=(Imm(2.5),), label="g")
+        b.fn.blocks[0].instrs.append(call)
+        b.halt()
+        b.done()
+        verify_module(m)  # a float immediate satisfies the FP parameter
+        call.srcs = (Imm(2),)
+        with pytest.raises(IRError, match="argument class"):
+            verify_module(m)
+
 
 class TestContainersEdges:
     def test_block_body_excludes_terminator(self):
