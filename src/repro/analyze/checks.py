@@ -23,7 +23,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.analyze.cfg import FuncCFG, ProgramCFG, build_cfg
-from repro.analyze.dataflow import DataflowResult, ForwardAnalysis, solve_forward
+from repro.analyze.dataflow import (
+    DataflowResult,
+    ForwardAnalysis,
+    reg_bit,
+    reg_items,
+    reg_mask,
+    solve_forward,
+)
 from repro.analyze.findings import AnalysisReport, Finding
 from repro.isa.opcodes import Opcode, falls_through
 from repro.isa.registers import FP_RETVAL, INT_RETVAL, Imm, RClass
@@ -33,23 +40,31 @@ from repro.sim.program import MachineProgram
 
 _CLASSES = (RClass.INT, RClass.FP)
 
+_RETVAL_MASK = reg_mask([(RClass.INT, INT_RETVAL.num),
+                         (RClass.FP, FP_RETVAL.num)])
+
 
 class _State:
-    """The combined abstract state at one program point."""
+    """The combined abstract state at one program point.
+
+    The register-set components are int bitmasks over the
+    :func:`repro.analyze.dataflow.reg_bit` encoding, so joins and equality
+    checks are single integer operations.
+    """
 
     __slots__ = ("maps", "sp", "written", "saved", "restored", "fresh",
                  "defined")
 
     def __init__(self, maps: dict[RClass, AbstractMap], sp: int | None,
-                 written: frozenset, saved: frozenset, restored: frozenset,
-                 fresh: frozenset, defined: frozenset | None) -> None:
+                 written: int, saved: int, restored: int,
+                 fresh: int, defined: int | None) -> None:
         self.maps = maps
         self.sp = sp  # allocated stack words; None = unknown
-        self.written = written  # (cls, num): allocatable core regs written
-        self.saved = saved  # (cls, num): pristine-stored to the frame
-        self.restored = restored  # (cls, num): reloaded from the frame
-        self.fresh = fresh  # (cls, num): extended regs valid across here
-        #: (cls, num) physical registers holding a deliberately-written value
+        self.written = written  # mask: allocatable core regs written
+        self.saved = saved  # mask: pristine-stored to the frame
+        self.restored = restored  # mask: reloaded from the frame
+        self.fresh = fresh  # mask: extended regs valid across here
+        #: Mask of physical registers holding a deliberately-written value
         #: on every path from the function entry; ``None`` means all of them
         #: (trap handlers run in an arbitrary caller context).
         self.defined = defined
@@ -105,10 +120,9 @@ class _Checker(ForwardAnalysis):
         # Only the stack pointer holds a meaningful value at entry (arguments
         # arrive on the stack); a trap handler inherits the interrupted
         # context, where any register may be live.
-        defined = None if fn.is_handler else frozenset({(RClass.INT, 0)})
-        return _State(maps=maps, sp=0, written=frozenset(),
-                      saved=frozenset(), restored=frozenset(),
-                      fresh=frozenset(), defined=defined)
+        defined = None if fn.is_handler else reg_mask([(RClass.INT, 0)])
+        return _State(maps=maps, sp=0, written=0, saved=0, restored=0,
+                      fresh=0, defined=defined)
 
     def copy(self, state: _State) -> _State:
         return _State(maps={cls: m.copy() for cls, m in state.maps.items()},
@@ -150,12 +164,9 @@ class _Checker(ForwardAnalysis):
                 # Extended registers are caller-saved: the callee may
                 # clobber any of them.  The callee returns its result in the
                 # return-value registers.
-                state.fresh = frozenset()
+                state.fresh = 0
                 if state.defined is not None:
-                    state.defined = state.defined | {
-                        (RClass.INT, INT_RETVAL.num),
-                        (RClass.FP, FP_RETVAL.num),
-                    }
+                    state.defined |= _RETVAL_MASK
             return state
 
         # Model 5: reads are one-shot connections.
@@ -171,18 +182,17 @@ class _Checker(ForwardAnalysis):
             targets = {p for p, _ in entry}
             core = self.config.spec_for(dest.cls).core
             alloc = self.allocatable[dest.cls]
-            adds_written = frozenset(
+            adds_written = reg_mask(
                 (dest.cls, p) for p in targets if p in alloc)
             if adds_written:
-                state.written = state.written | adds_written
-            adds_fresh = frozenset(
+                state.written |= adds_written
+            adds_fresh = reg_mask(
                 (dest.cls, p) for p in targets if p >= core)
             if adds_fresh:
-                state.fresh = state.fresh | adds_fresh
+                state.fresh |= adds_fresh
             if state.defined is not None and len(targets) == 1:
                 # Only an unambiguous write is a definite definition.
-                state.defined = state.defined | {
-                    (dest.cls, next(iter(targets)))}
+                state.defined |= 1 << reg_bit(dest.cls, next(iter(targets)))
             if mapped:
                 state.maps[dest.cls].after_write(dest.num)
         return state
@@ -207,7 +217,8 @@ class _Checker(ForwardAnalysis):
             return None
         phys = next(iter(entry))[0]
         key = (value.cls, phys)
-        if phys in self.allocatable[value.cls] and key not in state.written:
+        if (phys in self.allocatable[value.cls]
+                and not state.written >> reg_bit(*key) & 1):
             return key
         return None
 
@@ -248,7 +259,7 @@ class _Checker(ForwardAnalysis):
         if op in (Opcode.STORE, Opcode.FSTORE):
             key = self.save_pattern(state, instr)
             if key is not None:
-                state.saved = state.saved | {key}
+                state.saved |= 1 << reg_bit(*key)
         elif op in (Opcode.LOAD, Opcode.FLOAD):
             base = instr.srcs[0]
             if not self._sp_resolved_home(state, base):
@@ -257,9 +268,9 @@ class _Checker(ForwardAnalysis):
             if len(entry) != 1:
                 return
             phys = next(iter(entry))[0]
-            key = (instr.dest.cls, phys)
-            if key in state.saved:
-                state.restored = state.restored | {key}
+            bit = 1 << reg_bit(instr.dest.cls, phys)
+            if state.saved & bit:
+                state.restored |= bit
 
 
 @dataclass
@@ -331,7 +342,8 @@ def _report_function(checker: _Checker, fn: FuncCFG, result: DataflowResult,
                 collect.ext_readable.add((reg.cls, p))
         defined = state.defined
         garbage = (defined is not None and not exempt_ubd
-                   and not any((reg.cls, p) in defined for p in physset))
+                   and not any(defined >> reg_bit(reg.cls, p) & 1
+                               for p in physset))
         if mapped:
             if len(physset) > 1:
                 alts = ",".join(str(p) for p in sorted(physset))
@@ -348,7 +360,8 @@ def _report_function(checker: _Checker, fn: FuncCFG, result: DataflowResult,
                  f"read of {reg!r} before any definition reaches it")
         if not garbage and defined is not None:
             stale = sorted(p for p in physset
-                           if p >= core and (reg.cls, p) not in state.fresh)
+                           if p >= core
+                           and not state.fresh >> reg_bit(reg.cls, p) & 1)
             if stale:
                 emit("CC003", i,
                      f"read of extended physical {stale[0]} "
@@ -397,7 +410,8 @@ def _report_function(checker: _Checker, fn: FuncCFG, result: DataflowResult,
                     emit("CC001", i,
                          f"stack delta is {state.sp} words at return")
                 if not fn.is_entry and not fn.is_handler:
-                    for cls, p in sorted(state.written - state.restored,
+                    unrestored = reg_items(state.written & ~state.restored)
+                    for cls, p in sorted(unrestored,
                                          key=lambda k: (k[0].value, k[1])):
                         emit("CC002", i,
                              f"callee-saved {'r' if cls is RClass.INT else 'f'}"

@@ -19,9 +19,41 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any, Callable, Iterator
 
 from repro.analyze.cfg import FuncCFG, MachineBlock
+from repro.isa.registers import RClass
+
+# -- register-set lattice ------------------------------------------------------
+#
+# Optional int-bitmask encoding for abstract sets of ``(RClass, num)``
+# physical registers: the same dense-bitset trick as :mod:`repro.ir.bitset`,
+# offered here so client analyses (checks.py's written/saved/restored/fresh/
+# defined components) can join and compare with integer ``&``/``|`` instead
+# of frozenset algebra.  Bit layout interleaves the classes: register *num*
+# of class *cls* occupies bit ``num * 2 + (cls is FP)``.
+
+
+def reg_bit(cls: RClass, num: int) -> int:
+    """Bit position encoding one ``(cls, num)`` physical register."""
+    return (num << 1) | (cls is RClass.FP)
+
+
+def reg_mask(pairs) -> int:
+    """Mask with the bit of every ``(cls, num)`` pair in *pairs* set."""
+    m = 0
+    for cls, num in pairs:
+        m |= 1 << reg_bit(cls, num)
+    return m
+
+
+def reg_items(mask: int) -> Iterator[tuple[RClass, int]]:
+    """Decode a register mask back into ``(cls, num)`` pairs."""
+    while mask:
+        low = mask & -mask
+        b = low.bit_length() - 1
+        yield (RClass.FP if b & 1 else RClass.INT), b >> 1
+        mask ^= low
 
 
 class ForwardAnalysis:

@@ -20,13 +20,17 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import copy
 import json
 import sys
+import time
+from concurrent.futures import ProcessPoolExecutor
 
 from repro.analyze import annotate_listing, check_program
 from repro.compiler import CompileOptions, OptOptions, compile_module
 from repro.compiler.regalloc.allocator import AllocationOptions
 from repro.experiments import ALL_FIGURES, ExperimentRunner, SweepExecutor
+from repro.experiments.executor import default_jobs
 from repro.isa import RClass
 from repro.observe import (
     PassMetrics,
@@ -178,11 +182,37 @@ def _check_one(program, config, args, label: str, runs: list) -> int:
     return report.exit_code(args.strict)
 
 
+def _check_job(args, name: str, model: int, matrix: bool):
+    """Compile one benchmark under one reset model and statically check it.
+
+    Runs in a worker process for ``check all`` / ``--models`` fan-outs, so
+    everything returned (and *args* itself) must pickle.
+    """
+    ns = copy.copy(args)
+    ns.model = model
+    if matrix:
+        # Matrix mode: the reset model only matters with RC, so apply the
+        # extension to the benchmark's register class.
+        ns.rc = True
+    w = workload(name)
+    module = w.module(ns.scale)
+    config = _build_machine(ns, w.kind)
+    out = compile_module(module, config, _build_options(ns))
+    report = check_program(out.program, config)
+    run = {"target": f"{name} model {model}", "machine": config.describe(),
+           **report.to_dict()}
+    lines = [f.format() for f in report.findings]
+    state = "clean" if report.clean(args.strict) else "FAIL"
+    return run, lines, state, report.exit_code(args.strict)
+
+
 def cmd_check(args) -> int:
+    started = time.perf_counter()
     models = ([int(m) for m in args.models.split(",")]
               if args.models else None)
     runs: list[dict] = []
     status = 0
+    workers = 1
 
     if args.target.endswith(".s"):
         with open(args.target) as fh:
@@ -198,19 +228,30 @@ def cmd_check(args) -> int:
             if name not in ALL_BENCHMARKS:
                 print(f"unknown benchmark {name!r}", file=sys.stderr)
                 return 2
-            w = workload(name)
-            module = w.module(args.scale)
-            for model in models or [args.model]:
-                args.model = model
-                if models:
-                    # Matrix mode: the reset model only matters with RC, so
-                    # apply the extension to the benchmark's register class.
-                    args.rc = True
-                config = _build_machine(args, w.kind)
-                out = compile_module(module, config, _build_options(args))
-                status |= _check_one(out.program, config, args,
-                                     f"{name} model {model}", runs)
+        tasks = [(name, model) for name in names
+                 for model in (models or [args.model])]
+        jobs = args.jobs if args.jobs is not None else default_jobs()
+        workers = max(1, min(jobs, len(tasks)))
+        if workers > 1:
+            # Same fan-out discipline as the sweep executor: ship the jobs
+            # to a pool, print results in input order.
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [pool.submit(_check_job, args, name, model,
+                                       bool(models))
+                           for name, model in tasks]
+                outputs = [f.result() for f in futures]
+        else:
+            outputs = [_check_job(args, name, model, bool(models))
+                       for name, model in tasks]
+        for run, lines, state, code in outputs:
+            runs.append(run)
+            status |= code
+            if not args.json:
+                print(f"== {run['target']} [{run['machine']}]: {state}")
+                for line in lines:
+                    print(f"   {line}")
 
+    elapsed = time.perf_counter() - started
     payload = {"strict": args.strict, "clean": status == 0, "runs": runs}
     if args.json:
         text = json.dumps(payload, indent=2)
@@ -223,7 +264,8 @@ def cmd_check(args) -> int:
             print(text)
     else:
         total = sum(len(r["findings"]) for r in runs)
-        print(f"{len(runs)} run(s), {total} finding(s): "
+        print(f"{len(runs)} run(s), {total} finding(s) in {elapsed:.2f}s "
+              f"({workers} worker{'s' if workers != 1 else ''}): "
               f"{'clean' if status == 0 else 'FAIL'}")
         if args.output:
             with open(args.output, "w") as fh:
@@ -283,6 +325,20 @@ def cmd_profile(args) -> int:
     metrics = PassMetrics()
     out = compile_module(module, config, _build_options(args),
                          metrics=metrics)
+    if args.compile_only:
+        if args.json:
+            print(json.dumps({
+                "benchmark": w.name,
+                "machine": config.describe(),
+                "passes": metrics.to_rows(),
+            }, indent=2))
+            return 0
+        print(f"benchmark  {w.name} ({w.kind}), scale {args.scale}")
+        print(f"machine    {config.describe()}")
+        print()
+        print("compiler passes:")
+        print(metrics.render())
+        return 0
     run = observe_run(out.program, config, keep_events=args.forwards)
     if args.json:
         print(json.dumps({
@@ -407,6 +463,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit machine-readable JSON reports")
     p.add_argument("-o", "--output", default=None,
                    help="also write the JSON report to this file")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes for 'all'/--models fan-out "
+                        "(default REPRO_JOBS or CPU count)")
     _machine_args(p)
     _compile_args(p)
     p.set_defaults(fn=cmd_check)
@@ -442,6 +501,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("benchmark", choices=ALL_BENCHMARKS)
     p.add_argument("--json", action="store_true",
                    help="emit machine-readable JSON instead of tables")
+    p.add_argument("--compile", dest="compile_only", action="store_true",
+                   help="print only the per-pass compile-time breakdown "
+                        "(skips simulation)")
     p.add_argument("--forwards", action="store_true",
                    help="keep the full event stream to count zero-cycle "
                         "connect forwards (slower on large runs)")

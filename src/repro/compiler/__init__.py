@@ -5,10 +5,12 @@ from repro.compiler.frame import FrameLayout, InArg, LocalSlot, OutArg
 from repro.compiler.lower import layout_function, lower_module
 from repro.compiler.opt import OptOptions, optimize_module
 from repro.compiler.pipeline import (
+    COMPILE_JOBS_ENV,
     CompileOptions,
     CompileOutput,
     CompileStats,
     compile_module,
+    resolve_compile_jobs,
 )
 from repro.compiler.regalloc.allocator import (
     AllocationOptions,
@@ -32,6 +34,7 @@ from repro.compiler.sched.listsched import schedule_block_instrs, schedule_funct
 __all__ = [
     "AllocationOptions",
     "AllocationResult",
+    "COMPILE_JOBS_ENV",
     "CompileOptions",
     "CompileOutput",
     "CompileStats",
@@ -56,6 +59,7 @@ __all__ = [
     "optimize_module",
     "priority_order",
     "reference_weights",
+    "resolve_compile_jobs",
     "schedule_block_instrs",
     "schedule_function",
 ]

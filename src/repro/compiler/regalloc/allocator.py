@@ -26,9 +26,9 @@ from repro.compiler.regalloc.interference import (
 )
 from repro.compiler.regalloc.priority import priority_order
 from repro.errors import AllocationError
+from repro.ir.bitset import bit_liveness
 from repro.ir.function import Function
 from repro.ir.interp import Profile
-from repro.ir.liveness import liveness
 from repro.isa.instruction import Instr
 from repro.isa.opcodes import Opcode
 from repro.isa.registers import (
@@ -198,8 +198,7 @@ def allocate_function(
         _finish_params(fn, result)
         return result
 
-    info = liveness(fn)
-    graph = build_interference(fn, info)
+    graph = build_interference(fn)
     order = priority_order(fn, profile)
 
     for cls, spec in ((RClass.INT, int_spec), (RClass.FP, fp_spec)):
@@ -265,7 +264,7 @@ def apply_allocation(fn: Function, result: AllocationResult,
     section 4.1), while core registers are protected by callee-save code.
     Returns counters: spill loads/stores and caller saves.
     """
-    info = liveness(fn)
+    binfo = bit_liveness(fn)
     frame = result.frame
     assignment = result.assignment
     spilled = result.spilled
@@ -280,12 +279,17 @@ def apply_allocation(fn: Function, result: AllocationResult,
             return is_extended(reg)
 
     for block in fn.blocks:
-        after = info.live_across_instr(block)
+        # Live-after sets are only consulted at call sites; materialize the
+        # masks lazily so call-free blocks skip the backward walk entirely.
+        after_masks = None
         new_instrs: list[Instr] = []
         for idx, instr in enumerate(block.instrs):
             if instr.op is Opcode.CALL:
+                if after_masks is None:
+                    after_masks = binfo.live_across_instr_masks(block)
+                live_after = binfo.index.set_of(after_masks[idx])
                 saves = sorted(
-                    {assignment[v] for v in after[idx]
+                    {assignment[v] for v in live_after
                      if v in assignment
                      and save_policy(instr.label, assignment[v])},
                     key=lambda r: (r.cls.value, r.num),

@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+from repro.ir.bitset import bit_liveness
 from repro.ir.function import Function
-from repro.ir.liveness import LivenessInfo, liveness
+from repro.ir.liveness import LivenessInfo
 from repro.isa.opcodes import Opcode
 from repro.isa.registers import VReg
 
@@ -40,14 +41,69 @@ def build_interference(fn: Function,
     A definition interferes with everything live after it, with the classic
     exception that the destination of a copy does not interfere with its
     source.  Parameters are treated as defined on function entry.
+
+    The default path accumulates adjacency as int bitmasks over the dense
+    numbering of :mod:`repro.ir.bitset` and materializes the ``VReg`` sets
+    once at the end.  Passing a set-based *info* selects the original
+    pairwise ``add_edge`` construction, kept as the executable reference
+    for the property tests; both produce identical graphs.
     """
-    info = info or liveness(fn)
+    if info is not None:
+        return _build_from_sets(fn, info)
+    return _build_from_masks(fn)
+
+
+def _build_from_masks(fn: Function) -> InterferenceGraph:
+    binfo = bit_liveness(fn)
+    index = binfo.index
+    idx = index.index
+    vregs = index.vregs
+    cls_mask = index.class_mask
+    adj = [0] * len(vregs)
+
+    # Parameters are all "defined" at entry: they interfere with each other
+    # and with anything else live into the entry block.
+    entry_live = binfo.live_in[fn.entry.name] | index.mask_of(fn.params)
+    for p in fn.params:
+        pi = idx[p]
+        adj[pi] |= entry_live & cls_mask[p.cls] & ~(1 << pi)
+
+    for block in fn.blocks:
+        after = binfo.live_across_instr_masks(block)
+        for i, instr in enumerate(block.instrs):
+            dest = instr.dest
+            if not isinstance(dest, VReg):
+                continue
+            di = idx[dest]
+            m = after[i] & cls_mask[dest.cls] & ~(1 << di)
+            if m and instr.op in (Opcode.MOVE, Opcode.FMOV):
+                src = instr.srcs[0]
+                if isinstance(src, VReg):
+                    m &= ~(1 << idx[src])
+            adj[di] |= m
+
+    # Materialize and symmetrize in one pass over the recorded edges.
+    graph = InterferenceGraph()
+    gadj = graph.adj
+    for v in vregs:
+        gadj[v] = set()
+    for i, m in enumerate(adj):
+        vi = vregs[i]
+        si = gadj[vi]
+        while m:
+            low = m & -m
+            vj = vregs[low.bit_length() - 1]
+            si.add(vj)
+            gadj[vj].add(vi)
+            m ^= low
+    return graph
+
+
+def _build_from_sets(fn: Function, info: LivenessInfo) -> InterferenceGraph:
     graph = InterferenceGraph()
     for v in fn.vregs():
         graph.ensure(v)
 
-    # Parameters are all "defined" at entry: they interfere with each other
-    # and with anything else live into the entry block.
     entry_live = info.live_in[fn.entry.name] | set(fn.params)
     params = list(fn.params)
     for i, p in enumerate(params):

@@ -18,7 +18,14 @@ from repro.ir.function import (
     GlobalArray,
     Module,
 )
-from repro.ir.interp import Interpreter, InterpResult, Profile, run_module
+from repro.ir.interp import (
+    IR_ENGINE_ENV,
+    Interpreter,
+    InterpResult,
+    Profile,
+    resolve_ir_engine,
+    run_module,
+)
 from repro.ir.liveness import LivenessInfo, liveness, max_live_pressure
 from repro.ir.verify import verify_function, verify_module
 
@@ -28,6 +35,7 @@ __all__ = [
     "FnBuilder",
     "Function",
     "GlobalArray",
+    "IR_ENGINE_ENV",
     "Interpreter",
     "InterpResult",
     "LivenessInfo",
@@ -41,6 +49,7 @@ __all__ = [
     "max_live_pressure",
     "natural_loops",
     "predecessors",
+    "resolve_ir_engine",
     "reverse_postorder",
     "run_module",
     "successors",

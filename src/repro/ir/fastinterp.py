@@ -1,0 +1,444 @@
+"""Specializing profiling interpreter, bit-exact with the reference
+:class:`~repro.ir.interp.Interpreter`.
+
+Profiling interpretation dominates ``compile_module`` (the pipeline replays
+the optimized module for up to ``profile_step_limit`` steps to gather block
+weights and branch bias), so this engine applies the PR 3 fast-path playbook
+to the IR level: for each function it generates one Python function whose
+body inlines operand resolution (virtual registers become local variables),
+ALU arithmetic (via the shared :mod:`repro.isa.inline` emitter), branch
+conditions, and all profile bookkeeping (dense per-block counter arrays
+instead of ``Counter`` updates keyed by tuples).  Calls become direct Python
+calls, so the reference engine's explicit frame stack disappears entirely.
+
+Bit-exactness contract (asserted by ``tests/test_fastinterp.py``):
+
+* ``InterpResult.steps`` and the final memory image equal the reference's;
+* the reconstructed :class:`~repro.ir.interp.Profile` compares equal —
+  block counts, branch taken/not-taken pairs, and call counts;
+* any run the generated code cannot finish **successfully** (undefined
+  virtual-register read, step-limit overrun, opcode without IR semantics,
+  recursion deeper than the Python stack, arithmetic fault) returns ``None``
+  to the caller, which re-runs the reference engine from a fresh initial
+  memory image so error messages and fault behavior are reference-defined
+  down to the exact text.
+
+Step accounting: steps are batched per block entry.  Entering a block
+commits to executing exactly its transfer-terminated prefix, so adding the
+prefix length up front and bounds-checking once is exact for every run the
+fast path is allowed to complete (a mid-prefix fault or undefined read
+triggers the reference re-run, which re-raises whatever the reference
+semantics demand first).
+"""
+
+from __future__ import annotations
+
+import re
+import weakref
+
+from repro.ir.function import BasicBlock, Function, Module
+from repro.ir.interp import InterpResult, Profile
+from repro.isa.inline import BRANCH_EXPR, alu_stmts
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import Imm, VReg
+from repro.isa.semantics import ALU_FUNCS, BRANCH_FUNCS
+
+__all__ = ["try_run"]
+
+#: One-pass identifier scan used to decide which state names a generated
+#: function needs bound as keyword defaults (mirrors sim.fastpath).
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+
+class _Unsupported(Exception):
+    """Shape the generator cannot express for one instruction; the emitted
+    code raises ``FB`` at that point instead, deferring to the reference."""
+
+
+class _Fallback(Exception):
+    """Raised by generated code when it cannot guarantee bit-exactness."""
+
+
+class _Halt(Exception):
+    """HALT executed inside an arbitrarily deep call chain; unwinds the
+    generated Python frames back to the driver."""
+
+
+def _transfer_prefix(block: BasicBlock) -> list | None:
+    """Instructions executed per entry of *block*: everything up to and
+    including the first control transfer, or ``None`` if the block falls
+    off its end (the reference raises IRError there)."""
+    for i, instr in enumerate(block.instrs):
+        op = instr.op
+        if (op is Opcode.JMP or op is Opcode.RET or op is Opcode.HALT
+                or op in BRANCH_FUNCS):
+            return block.instrs[:i + 1]
+    return None
+
+
+class _Codegen:
+    """Generates one Python module of per-function run functions."""
+
+    def __init__(self, module: Module, strict_loads: bool) -> None:
+        self.module = module
+        self.strict = strict_loads
+        self.fn_index = {name: i for i, name in enumerate(module.functions)}
+        self.consts: dict[str, object] = {}
+        self.lines: list[str] = []
+        #: Per function: (name, block names, per-block cond-branch flag).
+        self.meta: list[tuple[str, tuple[str, ...], tuple[bool, ...]]] = []
+        self._nconst = 0
+
+    # -- operand emission ------------------------------------------------------
+
+    def _const(self, value) -> str:
+        name = f"K{self._nconst}"
+        self._nconst += 1
+        self.consts[name] = value
+        return name
+
+    def _imm_expr(self, value) -> str:
+        if type(value) is int:
+            return repr(value)
+        return self._const(value)
+
+    def _expr(self, operand, vnum: dict[VReg, int]) -> str:
+        if isinstance(operand, Imm):
+            return self._imm_expr(operand.value)
+        if isinstance(operand, VReg):
+            return f"v{vnum[operand]}"
+        # Physical registers (or anything else) never appear in the
+        # pre-allocation IR the profiler sees; defer to the reference.
+        raise _Unsupported(f"operand {operand!r}")
+
+    def _dest(self, instr, vnum: dict[VReg, int]) -> str:
+        if not isinstance(instr.dest, VReg):
+            raise _Unsupported(f"non-vreg dest {instr.dest!r}")
+        return f"v{vnum[instr.dest]}"
+
+    # -- per-instruction emission ----------------------------------------------
+
+    def _emit_body_instr(self, w, ind: str, instr, vnum, fi: int) -> None:
+        """Emit one non-transfer instruction (raises _Unsupported to make
+        the caller truncate the block with a fallback raise)."""
+        op = instr.op
+        if op is Opcode.NOP:
+            return
+        if op is Opcode.LI or op is Opcode.LIF:
+            w(ind + f"{self._dest(instr, vnum)} = "
+                    f"{self._imm_expr(instr.imm)}")
+        elif op is Opcode.LOAD or op is Opcode.FLOAD:
+            dest = self._dest(instr, vnum)
+            addr = (f"{self._expr(instr.srcs[0], vnum)} + "
+                    f"{self._imm_expr(instr.imm)}")
+            if self.strict:
+                w(ind + f"{dest} = MEM.get({addr}, SL)")
+                w(ind + f"if {dest} is SL: raise FB")
+            else:
+                w(ind + f"{dest} = MEM.get({addr}, 0)")
+        elif op is Opcode.STORE or op is Opcode.FSTORE:
+            val = self._expr(instr.srcs[0], vnum)
+            addr = (f"{self._expr(instr.srcs[1], vnum)} + "
+                    f"{self._imm_expr(instr.imm)}")
+            w(ind + f"MEM[{addr}] = {val}")
+        elif op is Opcode.CALL:
+            self._emit_call(w, ind, instr, vnum)
+        elif op in ALU_FUNCS:
+            dest = self._dest(instr, vnum)
+            vals = [self._expr(s, vnum) for s in instr.srcs]
+            stmts = alu_stmts(op.name, vals, target=dest)
+            if stmts is None:
+                # DIV/REM/FDIV: call the exact semantics function object so
+                # SimulationFault behavior is preserved (the driver still
+                # re-runs the reference to surface the fault, but the call
+                # keeps successful runs on the arbitrary-precision-correct
+                # path).
+                fname = f"OP_{op.name}"
+                self.consts[fname] = ALU_FUNCS[op]
+                w(ind + f"{dest} = {fname}({', '.join(vals)})")
+            else:
+                for s in stmts:
+                    w(ind + s)
+        else:
+            # Connects, traps, PSW access: no IR-level semantics; the
+            # reference raises a precise IRError.
+            raise _Unsupported(f"opcode {op.value}")
+
+    def _emit_call(self, w, ind: str, instr, vnum) -> None:
+        ci = self.fn_index.get(instr.label)
+        if ci is None:
+            raise _Unsupported(f"call to unknown {instr.label!r}")
+        callee = self.module.functions[instr.label]
+        if len(instr.srcs) != len(callee.params):
+            raise _Unsupported("call arity mismatch")
+        args = ", ".join(self._expr(s, vnum) for s in instr.srcs)
+        w(ind + f"CC[{ci}] += 1")
+        if instr.dest is None:
+            w(ind + f"F{ci}({args})")
+            return
+        dest = self._dest(instr, vnum)
+        if any(i.op is Opcode.RET and not i.srcs
+               for _, i in callee.iter_instrs()):
+            # The callee has value-less returns; the reference raises
+            # IRError when one reaches a caller expecting a value.
+            w(ind + f"_r = F{ci}({args})")
+            w(ind + "if _r is None: raise FB")
+            w(ind + f"{dest} = _r")
+        else:
+            w(ind + f"{dest} = F{ci}({args})")
+
+    # -- per-block emission ----------------------------------------------------
+
+    def _emit_block(self, w, ind: str, fi: int, bi: int, block: BasicBlock,
+                    fn: Function, vnum, bidx) -> bool:
+        """Emit the code for one block; returns True when its executed
+        prefix ends in a conditional branch (profile reconstruction)."""
+        prefix = _transfer_prefix(block)
+        body = block.instrs if prefix is None else prefix[:-1]
+        term = None if prefix is None else prefix[-1]
+        n = len(block.instrs) if prefix is None else len(prefix)
+
+        is_cond = term is not None and term.op in BRANCH_EXPR_OPS
+        taken_idx = None
+        fall_idx = None
+        if is_cond:
+            taken_idx = bidx.get(term.label)
+            fall_idx = bidx.get(block.fallthrough)
+        self_loop = is_cond and (taken_idx == bi or fall_idx == bi)
+        inner = ind + "    " if self_loop else ind
+        if self_loop:
+            w(ind + "while 1:")
+
+        w(inner + f"S[0] += {n}")
+        w(inner + "if S[0] > LIMIT: raise FB")
+        w(inner + f"BC{fi}[{bi}] += 1")
+        try:
+            for instr in body:
+                self._emit_body_instr(w, inner, instr, vnum, fi)
+            if term is None:
+                w(inner + "raise FB")  # fell off block end
+                return False
+            op = term.op
+            if op is Opcode.JMP:
+                t = bidx.get(term.label)
+                if t is None:
+                    w(inner + "raise FB")
+                else:
+                    w(inner + f"_b = {t}")
+                    w(inner + "continue")
+            elif op is Opcode.RET:
+                if term.srcs:
+                    w(inner + f"return {self._expr(term.srcs[0], vnum)}")
+                else:
+                    w(inner + "return None")
+            elif op is Opcode.HALT:
+                w(inner + "raise HALT")
+            else:  # conditional branch
+                vals = [self._expr(s, vnum) for s in term.srcs]
+                cond = BRANCH_EXPR[op.name].format(
+                    a=vals[0], b=vals[1] if len(vals) > 1 else "")
+                w(inner + f"if {cond}:")
+                w(inner + f"    TK{fi}[{bi}] += 1")
+                if taken_idx == bi:
+                    w(inner + "    continue")  # hot self-loop back edge
+                elif taken_idx is None:
+                    w(inner + "    raise FB")
+                elif self_loop:  # fallthrough is the back edge
+                    w(inner + "    break")
+                else:
+                    w(inner + f"    _b = {taken_idx}")
+                    w(inner + "    continue")
+                if fall_idx == bi:
+                    w(inner + "continue")
+                elif fall_idx is None:
+                    w(inner + "raise FB")
+                elif self_loop:  # taken is the back edge: not-taken exits
+                    w(inner + "break")
+                else:
+                    w(inner + f"_b = {fall_idx}")
+                    w(inner + "continue")
+                if self_loop:
+                    # Exited via 'break': resume the dispatch loop on the
+                    # non-loop successor.
+                    out = fall_idx if taken_idx == bi else taken_idx
+                    w(ind + f"_b = {out}")
+                    w(ind + "continue")
+        except _Unsupported:
+            w(inner + "raise FB")
+        return is_cond
+
+    # -- per-function emission -------------------------------------------------
+
+    def _dispatch(self, w, ind: str, lo: int, hi: int, leaf) -> None:
+        """Balanced binary dispatch on ``_b`` over block indices [lo, hi)."""
+        if hi - lo == 1:
+            leaf(w, ind, lo)
+            return
+        mid = (lo + hi) // 2
+        w(ind + f"if _b < {mid}:")
+        self._dispatch(w, ind + "    ", lo, mid, leaf)
+        w(ind + "else:")
+        self._dispatch(w, ind + "    ", mid, hi, leaf)
+
+    def _gen_function(self, fi: int, fn: Function) -> None:
+        w = self.lines.append
+        names = tuple(b.name for b in fn.blocks)
+        if len(set(fn.params)) != len(fn.params) or not fn.blocks or any(
+                not isinstance(r, VReg)
+                for _, i in fn.iter_instrs() for r in i.regs()):
+            # Degenerate shapes: a stub that always defers to the reference.
+            self.meta.append((fn.name, names, (False,) * len(names)))
+            w(f"BC{fi} = [0] * {len(names)}")
+            w(f"TK{fi} = [0] * {len(names)}")
+            w(f"def F{fi}(*_a, FB=FB):")
+            w("    raise FB")
+            w("")
+            return
+
+        vnum: dict[VReg, int] = {}
+        for p in fn.params:
+            vnum[p] = len(vnum)
+        for _, instr in fn.iter_instrs():
+            for r in instr.regs():
+                if r not in vnum:
+                    vnum[r] = len(vnum)
+        bidx = {b.name: i for i, b in enumerate(fn.blocks)}
+
+        buf: list[str] = []
+        base = "        "
+
+        def leaf(wl, ind, bi):
+            cond_flags_by_idx[bi] = self._emit_block(
+                wl, ind, fi, bi, fn.blocks[bi], fn, vnum, bidx)
+
+        cond_flags_by_idx = [False] * len(fn.blocks)
+        if len(fn.blocks) > 1:
+            buf.append("    _b = 0")
+            buf.append("    while 1:")
+            self._dispatch(buf.append, base, 0, len(fn.blocks), leaf)
+        else:
+            buf.append("    while 1:")
+            leaf(buf.append, base, 0)
+        cond_flags = tuple(cond_flags_by_idx)
+        self.meta.append((fn.name, names, cond_flags))
+
+        text = "\n".join(buf)
+        used = set(_IDENT_RE.findall(text))
+        bindable = (["S", "LIMIT", "MEM", "SL", "FB", "HALT", "CC",
+                     f"BC{fi}", f"TK{fi}"]
+                    + [n for n in self.consts if n in used])
+        binds = [f"{n}={n}" for n in dict.fromkeys(bindable) if n in used]
+        params = ", ".join(f"v{vnum[p]}" for p in fn.params)
+        head = f"def F{fi}({params}"
+        if binds:
+            head += (", " if params else "") + "*, " + ", ".join(binds)
+        head += "):"
+        w(f"BC{fi} = [0] * {len(names)}")
+        w(f"TK{fi} = [0] * {len(names)}")
+        w(head)
+        w(text)
+        w("")
+
+    def generate(self) -> tuple[str, dict[str, object], list]:
+        w = self.lines.append
+        w("S = [0]")
+        w(f"CC = [0] * {len(self.module.functions)}")
+        for fi, fn in enumerate(self.module.functions.values()):
+            self._gen_function(fi, fn)
+        return "\n".join(self.lines) + "\n", self.consts, self.meta
+
+
+#: Opcodes with an entry in BRANCH_EXPR (all conditional branches).
+BRANCH_EXPR_OPS = frozenset(op for op in BRANCH_FUNCS
+                            if op.name in BRANCH_EXPR)
+
+
+# -- compiled-code cache -------------------------------------------------------
+
+#: id(module) -> (weakref to the module, {strict_loads -> generated or
+#: None}).  Keyed by identity, mirroring sim.fastpath's program cache.
+_code_cache: dict[int, tuple[object, dict]] = {}
+
+
+def _generate(module: Module, strict_loads: bool):
+    try:
+        source, consts, meta = _Codegen(module, strict_loads).generate()
+    except _Unsupported:
+        return None
+    code = compile(source, f"<fastinterp:{module.name}>", "exec")
+    return code, consts, meta
+
+
+def _compiled(module: Module, strict_loads: bool):
+    key = id(module)
+    entry = _code_cache.get(key)
+    if entry is None or entry[0]() is not module:
+        try:
+            ref = weakref.ref(
+                module, lambda _r, _k=key: _code_cache.pop(_k, None))
+        except TypeError:  # pragma: no cover - modules are weakref-able
+            return _generate(module, strict_loads)
+        entry = (ref, {})
+        _code_cache[key] = entry
+    variants = entry[1]
+    if strict_loads not in variants:
+        variants[strict_loads] = _generate(module, strict_loads)
+    return variants[strict_loads]
+
+
+# -- driver --------------------------------------------------------------------
+
+_SENTINEL = object()
+
+
+def try_run(module: Module, entry: str, args: tuple, step_limit: int,
+            strict_loads: bool) -> InterpResult | None:
+    """Run *module* on the specialized engine; ``None`` means the caller
+    must fall back to the reference interpreter (the partial fast run had
+    no observable effect: memory starts from a fresh initial image)."""
+    compiled = _compiled(module, strict_loads)
+    if compiled is None:
+        return None
+    code, consts, meta = compiled
+    fn_index = {name: i for i, name in enumerate(module.functions)}
+    entry_idx = fn_index.get(entry)
+    if entry_idx is None:
+        return None
+
+    memory = module.initial_memory()
+    ns: dict[str, object] = dict(consts)
+    ns["MEM"] = memory
+    ns["LIMIT"] = step_limit
+    ns["FB"] = _Fallback
+    ns["HALT"] = _Halt
+    ns["SL"] = _SENTINEL
+    exec(code, ns)
+
+    try:
+        ns[f"F{entry_idx}"](*args)
+    except _Halt:
+        pass
+    except Exception:
+        # Undefined vreg (UnboundLocalError), step limit / unsupported
+        # shape (_Fallback), arithmetic fault, deep recursion: re-run the
+        # reference for exact error text and fault ordering.
+        return None
+
+    profile = Profile()
+    block_counts = profile.block_counts
+    branch_counts = profile.branch_counts
+    for fi, (fname, block_names, cond_flags) in enumerate(meta):
+        bc = ns[f"BC{fi}"]
+        tk = ns[f"TK{fi}"]
+        for bi, bname in enumerate(block_names):
+            c = bc[bi]
+            if c:
+                block_counts[(fname, bname)] = c
+                if cond_flags[bi]:
+                    t = tk[bi]
+                    branch_counts[(fname, bname)] = [t, c - t]
+    cc = ns["CC"]
+    for fi, (fname, _names, _flags) in enumerate(meta):
+        if cc[fi]:
+            profile.call_counts[fname] = cc[fi]
+    return InterpResult(ns["S"][0], memory, profile)

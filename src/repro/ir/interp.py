@@ -13,10 +13,11 @@ cycle-level simulator.  It serves two roles from the paper's methodology:
 
 from __future__ import annotations
 
+import os
 from collections import Counter
 from dataclasses import dataclass, field
 
-from repro.errors import IRError, SimulationError
+from repro.errors import ConfigError, IRError, SimulationError
 from repro.ir.function import Function, Module
 from repro.isa.instruction import Instr
 from repro.isa.opcodes import Opcode
@@ -24,6 +25,28 @@ from repro.isa.registers import Imm, VReg
 from repro.isa.semantics import ALU_FUNCS, branch_taken, evaluate
 
 DEFAULT_STEP_LIMIT = 50_000_000
+
+#: Environment variable selecting the interpreter engine (mirrors the
+#: simulator's REPRO_ENGINE).
+IR_ENGINE_ENV = "REPRO_IR_ENGINE"
+
+VALID_IR_ENGINES = ("fast", "reference")
+
+#: Sentinel distinguishing "absent" from any storable memory value.
+_UNWRITTEN = object()
+
+
+def resolve_ir_engine(engine: str | None = None) -> str:
+    """Resolve an engine selection: explicit argument, else the
+    ``REPRO_IR_ENGINE`` environment variable, else ``fast``."""
+    if engine is None or engine in ("", "auto"):
+        engine = os.environ.get(IR_ENGINE_ENV, "").strip().lower() or "fast"
+    if engine not in VALID_IR_ENGINES:
+        raise ConfigError(
+            f"unknown IR engine {engine!r}; valid: "
+            f"{', '.join(VALID_IR_ENGINES)}"
+        )
+    return engine
 
 
 @dataclass
@@ -72,19 +95,52 @@ class _Frame:
 
 
 class Interpreter:
-    """Interprets a module starting from an entry function."""
+    """Interprets a module starting from an entry function.
+
+    ``engine`` selects the execution strategy: ``"fast"`` (the default,
+    overridable via ``REPRO_IR_ENGINE``) runs the specializing engine in
+    :mod:`repro.ir.fastinterp`, which is bit-exact with the reference and
+    transparently falls back to it for any run it cannot complete
+    (step-limit overruns, undefined reads, opcodes without IR semantics);
+    ``"reference"`` forces the dict-dispatch loop below.  ``ran_fastpath``
+    reports which engine produced the last result.
+
+    ``strict_loads`` makes LOAD/FLOAD from a never-written address an
+    error, matching :meth:`repro.sim.core.SimResult.load_word`; by default
+    such loads read 0 (the historical behavior, which silently masks
+    address bugs).
+    """
 
     def __init__(self, module: Module, *,
-                 step_limit: int = DEFAULT_STEP_LIMIT) -> None:
+                 step_limit: int = DEFAULT_STEP_LIMIT,
+                 engine: str | None = None,
+                 strict_loads: bool = False) -> None:
         self.module = module
         self.step_limit = step_limit
+        self.engine = resolve_ir_engine(engine)
+        self.strict_loads = strict_loads
+        self.ran_fastpath = False
 
     def run(self, entry: str = "main",
             args: tuple[int | float, ...] = ()) -> InterpResult:
-        module = self.module
-        fn = module.function(entry)
+        fn = self.module.function(entry)
         if len(args) != len(fn.params):
             raise IRError(f"{entry} expects {len(fn.params)} args")
+        if self.engine == "fast":
+            from repro.ir import fastinterp
+
+            result = fastinterp.try_run(self.module, entry, tuple(args),
+                                        self.step_limit, self.strict_loads)
+            if result is not None:
+                self.ran_fastpath = True
+                return result
+        self.ran_fastpath = False
+        return self._run_reference(entry, args)
+
+    def _run_reference(self, entry: str,
+                       args: tuple[int | float, ...]) -> InterpResult:
+        module = self.module
+        fn = module.function(entry)
         memory: dict[int, int | float] = module.initial_memory()
         profile = Profile()
         block_counts = profile.block_counts
@@ -97,6 +153,7 @@ class Interpreter:
         index = 0
         steps = 0
         limit = self.step_limit
+        load_default = _UNWRITTEN if self.strict_loads else 0
         env = frame.env
         block_counts[(fn.name, block.name)] += 1
 
@@ -126,7 +183,14 @@ class Interpreter:
                 index += 1
             elif op is Opcode.LOAD or op is Opcode.FLOAD:
                 addr = value(instr.srcs[0]) + instr.imm
-                env[instr.dest] = memory.get(addr, 0)
+                val = memory.get(addr, load_default)
+                if val is _UNWRITTEN:
+                    raise SimulationError(
+                        f"{fn.name}/{block.name}: load of never-written "
+                        f"address {addr} (strict_loads; the simulator's "
+                        "load_word raises on such reads too)"
+                    )
+                env[instr.dest] = val
                 index += 1
             elif op is Opcode.STORE or op is Opcode.FSTORE:
                 addr = value(instr.srcs[1]) + instr.imm
@@ -194,6 +258,9 @@ class Interpreter:
 
 
 def run_module(module: Module, entry: str = "main",
-               step_limit: int = DEFAULT_STEP_LIMIT) -> InterpResult:
+               step_limit: int = DEFAULT_STEP_LIMIT,
+               engine: str | None = None,
+               strict_loads: bool = False) -> InterpResult:
     """Convenience wrapper: interpret *module* from *entry*."""
-    return Interpreter(module, step_limit=step_limit).run(entry)
+    return Interpreter(module, step_limit=step_limit, engine=engine,
+                       strict_loads=strict_loads).run(entry)

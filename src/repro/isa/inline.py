@@ -1,0 +1,82 @@
+"""Python-source emission helpers shared by the specializing engines.
+
+Both fast-path engines — the cycle-level :mod:`repro.sim.fastpath` and the
+IR-level :mod:`repro.ir.fastinterp` — generate Python source that must be
+bit-exact with :mod:`repro.isa.semantics`.  The inline arithmetic for every
+opcode lives here so the two code generators cannot drift apart: the wrap
+constants are emitted as literals identical to :func:`~repro.isa.semantics.
+wrap64`'s masks, and any opcode this module declines to inline (``None``
+return) must be executed by calling the exact semantics function object,
+preserving fault behavior (DIV/REM/FDIV raise
+:class:`~repro.errors.SimulationFault`).
+"""
+
+from __future__ import annotations
+
+__all__ = ["BRANCH_EXPR", "MASK_LIT", "SIGN_LIT", "TWO64_LIT",
+           "alu_stmts", "wrap_stmts"]
+
+# 64-bit wrap constants, emitted as literals so the generated arithmetic is
+# bit-exact with repro.isa.semantics.wrap64.
+MASK_LIT = "18446744073709551615"
+SIGN_LIT = "9223372036854775808"
+TWO64_LIT = "18446744073709551616"
+
+#: Conditional-branch condition expressions, keyed by opcode name.
+BRANCH_EXPR = {
+    "BEQ": "{a} == {b}", "BNE": "{a} != {b}", "BLT": "{a} < {b}",
+    "BLE": "{a} <= {b}", "BGT": "{a} > {b}", "BGE": "{a} >= {b}",
+    "BEQZ": "{a} == 0", "BNEZ": "{a} != 0",
+}
+
+
+def wrap_stmts(expr: str, target: str = "v") -> list[str]:
+    """Statements assigning ``wrap64(expr)`` to *target*."""
+    return [f"{target} = ({expr}) & {MASK_LIT}",
+            f"if {target} & {SIGN_LIT}:",
+            f"    {target} -= {TWO64_LIT}"]
+
+
+def alu_stmts(name: str, args: list[str],
+              target: str = "v") -> list[str] | None:
+    """Inline statements computing *target* for an ALU opcode, or ``None``
+    when the shared semantics function must be called (DIV/REM/FDIV keep
+    their fault behavior by calling the exact same function object)."""
+    a = args[0]
+    b = args[1] if len(args) > 1 else None
+    if name in ("MOVE", "FMOV"):
+        return [f"{target} = {a}"]
+    if name in ("ADD", "SUB", "MUL", "AND", "OR", "XOR"):
+        op = {"ADD": "+", "SUB": "-", "MUL": "*",
+              "AND": "&", "OR": "|", "XOR": "^"}[name]
+        return wrap_stmts(f"{a} {op} {b}", target)
+    if name == "SLL":
+        return wrap_stmts(f"{a} << ({b} & 63)", target)
+    if name == "SRA":
+        return wrap_stmts(f"{a} >> ({b} & 63)", target)
+    if name == "SRL":
+        return [f"{target} = ({a} & {MASK_LIT}) >> ({b} & 63)",
+                f"if {target} & {SIGN_LIT}:",
+                f"    {target} -= {TWO64_LIT}"]
+    if name in ("CMPEQ", "FCMPEQ"):
+        return [f"{target} = 1 if {a} == {b} else 0"]
+    if name == "CMPNE":
+        return [f"{target} = 1 if {a} != {b} else 0"]
+    if name in ("CMPLT", "FCMPLT"):
+        return [f"{target} = 1 if {a} < {b} else 0"]
+    if name in ("CMPLE", "FCMPLE"):
+        return [f"{target} = 1 if {a} <= {b} else 0"]
+    if name == "CMPGT":
+        return [f"{target} = 1 if {a} > {b} else 0"]
+    if name == "CMPGE":
+        return [f"{target} = 1 if {a} >= {b} else 0"]
+    if name == "FNEG":
+        return [f"{target} = -{a}"]
+    if name in ("FADD", "FSUB", "FMUL"):
+        op = {"FADD": "+", "FSUB": "-", "FMUL": "*"}[name]
+        return [f"{target} = {a} {op} {b}"]
+    if name == "CVTIF":
+        return [f"{target} = float({a})"]
+    if name == "CVTFI":
+        return wrap_stmts(f"int({a})", target)
+    return None

@@ -46,6 +46,8 @@ import weakref
 _IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
 
 from repro.errors import SimulationError
+from repro.isa.inline import BRANCH_EXPR as _BR_EXPR
+from repro.isa.inline import alu_stmts as _alu_stmts
 from repro.isa.registers import RClass
 from repro.rc.models import RCModel
 from repro.sim.core import (
@@ -81,12 +83,6 @@ _BUNDLE_MAX_LEN = 48
 _BUNDLE_MAX_SLOTS = 32
 _BUNDLE_CACHE_CAP = 512
 
-# 64-bit wrap constants, emitted as literals so the generated arithmetic is
-# bit-exact with repro.isa.semantics.wrap64.
-_M = "18446744073709551615"
-_S = "9223372036854775808"
-_T = "18446744073709551616"
-
 #: Names a block function may bind as keyword-only defaults; the emitted
 #: body is scanned so each function binds only what it actually uses.
 _BINDABLE = (
@@ -95,60 +91,6 @@ _BINDABLE = (
     "IMR_R", "IMR_W", "FMR_R", "FMR_W",
     "IC", "ST", "RA", "TS", "PSWO", "MAXC", "IHOME", "FHOME",
 )
-
-_BR_EXPR = {
-    "BEQ": "{a} == {b}", "BNE": "{a} != {b}", "BLT": "{a} < {b}",
-    "BLE": "{a} <= {b}", "BGT": "{a} > {b}", "BGE": "{a} >= {b}",
-    "BEQZ": "{a} == 0", "BNEZ": "{a} != 0",
-}
-
-
-def _wrap_stmts(expr: str) -> list[str]:
-    return [f"v = ({expr}) & {_M}", f"if v & {_S}:", f"    v -= {_T}"]
-
-
-def _alu_stmts(name: str, args: list[str]) -> list[str] | None:
-    """Inline statements computing ``v`` for an ALU opcode, or ``None`` when
-    the shared semantics function must be called (DIV/REM/FDIV keep their
-    fault behavior by calling the exact same function object)."""
-    a = args[0]
-    b = args[1] if len(args) > 1 else None
-    if name in ("MOVE", "FMOV"):
-        return [f"v = {a}"]
-    if name in ("ADD", "SUB", "MUL", "AND", "OR", "XOR"):
-        op = {"ADD": "+", "SUB": "-", "MUL": "*",
-              "AND": "&", "OR": "|", "XOR": "^"}[name]
-        return _wrap_stmts(f"{a} {op} {b}")
-    if name == "SLL":
-        return _wrap_stmts(f"{a} << ({b} & 63)")
-    if name == "SRA":
-        return _wrap_stmts(f"{a} >> ({b} & 63)")
-    if name == "SRL":
-        return [f"v = ({a} & {_M}) >> ({b} & 63)",
-                f"if v & {_S}:", f"    v -= {_T}"]
-    if name in ("CMPEQ", "FCMPEQ"):
-        return [f"v = 1 if {a} == {b} else 0"]
-    if name == "CMPNE":
-        return [f"v = 1 if {a} != {b} else 0"]
-    if name in ("CMPLT", "FCMPLT"):
-        return [f"v = 1 if {a} < {b} else 0"]
-    if name in ("CMPLE", "FCMPLE"):
-        return [f"v = 1 if {a} <= {b} else 0"]
-    if name == "CMPGT":
-        return [f"v = 1 if {a} > {b} else 0"]
-    if name == "CMPGE":
-        return [f"v = 1 if {a} >= {b} else 0"]
-    if name == "FNEG":
-        return [f"v = -{a}"]
-    if name in ("FADD", "FSUB", "FMUL"):
-        op = {"FADD": "+", "FSUB": "-", "FMUL": "*"}[name]
-        return [f"v = {a} {op} {b}"]
-    if name == "CVTIF":
-        return [f"v = float({a})"]
-    if name == "CVTFI":
-        return _wrap_stmts(f"int({a})")
-    return None
-
 
 class _Unsupported(Exception):
     """Program shape the generator does not handle; engine falls back."""

@@ -183,6 +183,21 @@ class TestProfileCommand:
                      "--forwards"]) == 0
         assert "zero-cycle" in capsys.readouterr().out
 
+    def test_compile_only_skips_simulation(self, capsys):
+        assert main(["profile", "cmp", "--compile"]) == 0
+        out = capsys.readouterr().out
+        assert "compiler passes:" in out
+        assert "optimize" in out and "allocate" in out
+        assert "cycle attribution" not in out
+
+    def test_compile_only_json(self, capsys):
+        import json
+        assert main(["profile", "cmp", "--compile", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["benchmark"] == "cmp"
+        assert [row["pass"] for row in doc["passes"]]
+        assert "cpi" not in doc
+
 
 class TestSweepCpi:
     def test_sweep_cpi_footer(self, tmp_path, monkeypatch, capsys):
@@ -241,6 +256,20 @@ class TestCheck:
 
     def test_check_unknown_benchmark(self, capsys):
         assert main(["check", "doom"]) == 2
+
+    def test_check_parallel_fanout_matches_serial(self, capsys):
+        assert main(["check", "cmp", "--models", "1,4", "--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["check", "cmp", "--models", "1,4", "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        # Everything except the timing footer is identical.
+        assert serial.splitlines()[:-1] == parallel.splitlines()[:-1]
+        assert "2 workers" in parallel.splitlines()[-1]
+
+    def test_check_footer_reports_timing(self, capsys):
+        assert main(["check", "cmp", "--rc", "--jobs", "1"]) == 0
+        footer = capsys.readouterr().out.splitlines()[-1]
+        assert "run(s)" in footer and "s (1 worker)" in footer
 
     def test_check_shipped_examples_are_clean(self, capsys):
         import pathlib
