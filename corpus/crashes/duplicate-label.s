@@ -1,0 +1,7 @@
+; fuzz-case: oracle=parser-crash kind=crash
+; must raise a line-numbered AsmError, never a bare
+; ValueError/IndexError/KeyError
+top:
+    halt
+top:
+    halt

@@ -1,0 +1,5 @@
+; fuzz-case: oracle=parser-crash kind=crash
+; must raise a line-numbered AsmError, never a bare
+; ValueError/IndexError/KeyError
+    load 5, 4(r0)
+    halt

@@ -1,0 +1,5 @@
+; fuzz-case: oracle=parser-crash kind=crash
+; must raise a line-numbered AsmError, never a bare
+; ValueError/IndexError/KeyError
+    frobnicate r1, r2
+    halt

@@ -1,0 +1,5 @@
+; fuzz-case: oracle=parser-crash kind=crash
+; must raise a line-numbered AsmError, never a bare
+; ValueError/IndexError/KeyError
+.word 4096 = r5
+    halt

@@ -1,0 +1,9 @@
+; fuzz-case: oracle=resume-parity kind=asm
+; run() after a failed run must raise the same diagnostic on both
+; engines; the reference used to resume with accumulated stats while
+; the fast engine restarted from entry on dirty state
+    add r1, r1, 1
+    beq r1, 1 -> L3
+    halt
+L3:
+    sub r1, r1, 1

@@ -15,6 +15,9 @@ Commands:
 * ``sweep [name ...]`` — regenerate figures through the parallel sweep
   executor (``--jobs``/``REPRO_JOBS`` workers) with cache counters and
   progress reporting; ``--cpi`` adds aggregate cycle attribution.
+* ``fuzz`` — differential fuzzing harness: random programs at the IR and
+  machine levels driven through the engine-parity, checker-soundness and
+  compile-determinism oracles, with corpus replay and auto-shrinking.
 """
 
 from __future__ import annotations
@@ -360,6 +363,43 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    from pathlib import Path
+
+    from repro.fuzz import FuzzOptions, run_fuzz
+
+    opts = FuzzOptions(
+        seed=args.seed,
+        budget=args.budget,
+        level=args.level,
+        jobs=args.jobs if args.jobs is not None else 1,
+        corpus=Path(args.corpus) if args.corpus else None,
+        replay_corpus=not args.no_replay,
+        shrink=not args.no_shrink,
+    )
+    report = run_fuzz(opts)
+    text = report.to_json()
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"wrote fuzz report to {args.output}", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    counters = report.counters
+    print(
+        f"fuzz: {counters.get('iterations', 0)} iterations "
+        f"({counters.get('asm_programs', 0)} asm, "
+        f"{counters.get('ir_modules', 0)} ir, "
+        f"{counters.get('mutants', 0)} mutants, "
+        f"{counters.get('corpus_cases', 0)} corpus), "
+        f"{len(report.divergences)} divergence(s) in "
+        f"{report.elapsed_sec:.1f}s: "
+        f"{'clean' if report.clean else 'FAIL'}", file=sys.stderr)
+    for div in report.divergences:
+        print(f"  [{div.oracle}] {div.detail}", file=sys.stderr)
+    return 0 if report.clean else 1
+
+
 def cmd_figures(args) -> int:
     runner = ExperimentRunner(scale=args.scale, engine=args.engine)
     names = args.names or list(ALL_FIGURES)
@@ -539,6 +579,29 @@ def build_parser() -> argparse.ArgumentParser:
                    help="collect CPI stacks per job and append the "
                         "aggregate cycle attribution to figure footers")
     p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: random programs vs the parity, "
+             "checker-soundness and determinism oracles")
+    p.add_argument("--seed", type=int, default=0,
+                   help="base seed for the generators (default 0)")
+    p.add_argument("--budget", type=int, default=200,
+                   help="number of fresh generated programs (default 200)")
+    p.add_argument("--level", default="all", choices=("ir", "asm", "all"),
+                   help="which generator level(s) to run")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes (default 1)")
+    p.add_argument("--corpus", default="",
+                   help="corpus directory to replay "
+                        "(default: the repo's corpus/)")
+    p.add_argument("--no-replay", action="store_true",
+                   help="skip replaying the committed corpus")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="report raw reproducers without minimizing them")
+    p.add_argument("-o", "--output", default=None,
+                   help="write the JSON report to this file")
+    p.set_defaults(fn=cmd_fuzz)
     return parser
 
 

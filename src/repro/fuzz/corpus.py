@@ -1,0 +1,335 @@
+"""Corpus management: serialize, save, load, and enumerate fuzz cases.
+
+Minimized reproducers live in a committed ``corpus/`` directory and are
+replayed by both ``repro fuzz`` and the test suite forever:
+
+* ``corpus/regressions/*.s`` — machine-level cases in the textual assembly
+  format (with a ``; fuzz-case:`` header naming the oracle that the case
+  once tripped).
+* ``corpus/regressions/*.json`` — IR-level cases as a JSON encoding of the
+  module (round-tripped through :func:`module_to_json` /
+  :func:`module_from_json`).
+* ``corpus/crashes/*.s`` — malformed assembly that must raise a
+  line-numbered :class:`~repro.isa.asmparse.AsmError`, never a bare
+  ``ValueError``/``IndexError``/``KeyError``.
+
+:mod:`repro.isa.asmfmt` cannot be reused for the ``.s`` side because its
+listing format drops labels; :func:`program_to_text` emits the exact
+syntax :func:`repro.isa.asmparse.parse_program` accepts, so every saved
+case round-trips bit-exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.ir.function import Function, Module
+from repro.isa.instruction import Instr
+from repro.isa.opcodes import CONNECT_OPS, Opcode
+from repro.isa.registers import Imm, PhysReg, RClass, VReg
+from repro.sim.program import MachineProgram
+
+_CASE_HEADER_RE = re.compile(
+    r"^[;#]\s*fuzz-case:\s*(.*)$", re.MULTILINE)
+
+
+# -- machine program -> .s text ------------------------------------------------
+
+def _fmt_reg(reg: PhysReg) -> str:
+    prefix = "r" if reg.cls is RClass.INT else "f"
+    return f"{prefix}{reg.num}"
+
+
+def _fmt_operand(op) -> str:
+    if isinstance(op, Imm):
+        return repr(op.value) if isinstance(op.value, float) else str(op.value)
+    return _fmt_reg(op)
+
+
+def _fmt_connect(instr: Instr) -> str:
+    rclass = instr.imm[0]
+    prefix = "r" if rclass is RClass.INT else "f"
+    pieces = list(instr.imm[1:])
+    fields = []
+    for k in range(0, len(pieces), 2):
+        fields.append(f"{prefix}i{pieces[k]}")
+        fields.append(f"{prefix}p{pieces[k + 1]}")
+    return f"{instr.op.value} {', '.join(fields)}"
+
+
+def _fmt_instr(instr: Instr, target_label: str | None) -> str:
+    op = instr.op
+    if op in CONNECT_OPS:
+        return _fmt_connect(instr)
+    if op is Opcode.TRAP:
+        return f"trap {instr.imm}"
+    if op in (Opcode.LOAD, Opcode.FLOAD):
+        return (f"{op.value} {_fmt_reg(instr.dest)}, "
+                f"{instr.imm}({_fmt_operand(instr.srcs[0])})")
+    if op in (Opcode.STORE, Opcode.FSTORE):
+        return (f"{op.value} {_fmt_operand(instr.srcs[0])}, "
+                f"{instr.imm}({_fmt_operand(instr.srcs[1])})")
+    if op in (Opcode.LI, Opcode.LIF):
+        imm = instr.imm
+        shown = repr(imm) if isinstance(imm, float) else str(imm)
+        return f"{op.value} {_fmt_reg(instr.dest)}, {shown}"
+    if op in (Opcode.JMP, Opcode.CALL):
+        return f"{op.value} {target_label}"
+    parts = []
+    if instr.dest is not None:
+        parts.append(_fmt_reg(instr.dest))
+    parts.extend(_fmt_operand(s) for s in instr.srcs)
+    text = op.value
+    if parts:
+        text += " " + ", ".join(parts)
+    if target_label is not None:
+        text += f" -> {target_label}"
+    if instr.hint_taken is not None:
+        text += " [taken]" if instr.hint_taken else " [not-taken]"
+    return text
+
+
+def program_to_text(program: MachineProgram, header: str = "") -> str:
+    """Serialize to the textual assembly format (labels included), such
+    that ``parse_program(program_to_text(p))`` reproduces ``p``."""
+    label_at: dict[int, str] = {}
+
+    def _label_for(index: int) -> str:
+        return label_at.setdefault(index, f"L{index}")
+
+    for target in program.targets:
+        if target is not None:
+            _label_for(target)
+    for target in program.trap_handlers.values():
+        _label_for(target)
+    if program.entry != 0:
+        _label_for(program.entry)
+
+    lines = []
+    if header:
+        lines.extend(f"; {line}" for line in header.splitlines())
+    if program.entry != 0:
+        lines.append(f".entry {label_at[program.entry]}")
+    for addr in sorted(program.initial_memory):
+        value = program.initial_memory[addr]
+        shown = repr(value) if isinstance(value, float) else str(value)
+        lines.append(f".word {addr} = {shown}")
+    for vector in sorted(program.trap_handlers):
+        lines.append(
+            f".handler {vector} = {label_at[program.trap_handlers[vector]]}")
+    for index, instr in enumerate(program.instrs):
+        if index in label_at:
+            lines.append(f"{label_at[index]}:")
+        target = program.targets[index]
+        target_label = label_at[target] if target is not None else None
+        suffix = ""
+        rules = program.suppressions.get(index)
+        if rules:
+            suffix = f"    ; check: ignore={','.join(sorted(rules))}"
+        lines.append(f"    {_fmt_instr(instr, target_label)}{suffix}")
+    for rules in (program.suppressions.get(-1),):
+        if rules:
+            lines.append(f"; check: ignore={','.join(sorted(rules))}")
+    return "\n".join(lines) + "\n"
+
+
+# -- IR module <-> JSON --------------------------------------------------------
+
+_CLS_CODE = {RClass.INT: "i", RClass.FP: "f"}
+_CODE_CLS = {"i": RClass.INT, "f": RClass.FP}
+
+
+def _vreg_to_json(v: VReg) -> dict:
+    out = {"cls": _CLS_CODE[v.cls], "vid": v.vid}
+    if v.name:
+        out["name"] = v.name
+    return out
+
+
+def _vreg_from_json(data: dict) -> VReg:
+    return VReg(_CODE_CLS[data["cls"]], data["vid"], data.get("name", ""))
+
+
+def _operand_to_json(op) -> dict:
+    if isinstance(op, Imm):
+        return {"imm": op.value}
+    return _vreg_to_json(op)
+
+
+def _operand_from_json(data: dict):
+    if "imm" in data:
+        return Imm(data["imm"])
+    return _vreg_from_json(data)
+
+
+def _instr_to_json(instr: Instr) -> dict:
+    out: dict = {"op": instr.op.name}
+    if instr.dest is not None:
+        out["dest"] = _vreg_to_json(instr.dest)
+    if instr.srcs:
+        out["srcs"] = [_operand_to_json(s) for s in instr.srcs]
+    if instr.imm is not None:
+        out["imm"] = instr.imm
+    if instr.label is not None:
+        out["label"] = instr.label
+    if instr.hint_taken is not None:
+        out["hint"] = instr.hint_taken
+    return out
+
+
+def _instr_from_json(data: dict) -> Instr:
+    return Instr(
+        Opcode[data["op"]],
+        dest=_vreg_from_json(data["dest"]) if "dest" in data else None,
+        srcs=tuple(_operand_from_json(s) for s in data.get("srcs", ())),
+        imm=data.get("imm"),
+        label=data.get("label"),
+        hint_taken=data.get("hint"),
+    )
+
+
+def module_to_json(module: Module) -> str:
+    """Serialize an IR module (globals in declaration order, functions,
+    blocks) to a JSON string."""
+    doc = {
+        "name": module.name,
+        "globals": [
+            {"name": g.name, "size": g.size, "addr": g.addr,
+             "init": list(g.init)}
+            for g in module.globals.values()
+        ],
+        "functions": [
+            {
+                "name": fn.name,
+                "params": [_vreg_to_json(p) for p in fn.params],
+                "ret": _CLS_CODE[fn.ret_class] if fn.ret_class else None,
+                "blocks": [
+                    {
+                        "name": block.name,
+                        "fallthrough": block.fallthrough,
+                        "instrs": [_instr_to_json(i) for i in block.instrs],
+                    }
+                    for block in fn.blocks
+                ],
+            }
+            for fn in module.functions.values()
+        ],
+    }
+    return json.dumps(doc, indent=1)
+
+
+def module_from_json(text: str) -> Module:
+    """Rebuild a module serialized by :func:`module_to_json`."""
+    doc = json.loads(text)
+    module = Module(doc["name"])
+    for g in doc["globals"]:
+        added = module.add_global(g["name"], g["size"], g["init"])
+        if added.addr != g["addr"]:
+            raise ValueError(
+                f"global {g['name']!r} relocated: saved addr {g['addr']}, "
+                f"rebuilt at {added.addr}")
+    for fdoc in doc["functions"]:
+        params = [_vreg_from_json(p) for p in fdoc["params"]]
+        ret = _CODE_CLS[fdoc["ret"]] if fdoc["ret"] else None
+        fn = Function(fdoc["name"], params, ret)
+        max_vid = max((p.vid for p in params), default=-1)
+        for bdoc in fdoc["blocks"]:
+            block = fn.new_block(bdoc["name"])
+            block.fallthrough = bdoc["fallthrough"]
+            for idoc in bdoc["instrs"]:
+                instr = _instr_from_json(idoc)
+                block.instrs.append(instr)
+                for reg in instr.regs():
+                    if isinstance(reg, VReg):
+                        max_vid = max(max_vid, reg.vid)
+        # Keep the vreg namespace collision-free for compiler passes that
+        # allocate fresh vregs on this function.
+        fn._next_vid = max_vid + 1
+        module.add_function(fn)
+    return module
+
+
+# -- cases on disk -------------------------------------------------------------
+
+@dataclass
+class Case:
+    """One corpus entry."""
+
+    name: str
+    kind: str  # "asm" | "ir" | "crash"
+    path: Path
+    text: str
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def oracle(self) -> str:
+        return self.meta.get("oracle", "")
+
+
+def default_corpus_root() -> Path | None:
+    """The repo's committed ``corpus/`` directory, if present."""
+    for base in (Path.cwd(), Path(__file__).resolve().parents[3]):
+        candidate = base / "corpus"
+        if candidate.is_dir():
+            return candidate
+    return None
+
+
+def _parse_meta(text: str) -> dict:
+    m = _CASE_HEADER_RE.search(text)
+    if not m:
+        return {}
+    meta = {}
+    for piece in m.group(1).split():
+        if "=" in piece:
+            key, _, value = piece.partition("=")
+            meta[key] = value
+    return meta
+
+
+def save_asm_case(directory: Path, name: str, program: MachineProgram,
+                  oracle: str, note: str = "") -> Path:
+    directory.mkdir(parents=True, exist_ok=True)
+    header = f"fuzz-case: oracle={oracle} kind=asm"
+    if note:
+        header += f"\n{note}"
+    path = directory / f"{name}.s"
+    path.write_text(program_to_text(program, header=header))
+    return path
+
+
+def save_ir_case(directory: Path, name: str, module: Module,
+                 oracle: str, note: str = "") -> Path:
+    directory.mkdir(parents=True, exist_ok=True)
+    doc = {"kind": "ir", "oracle": oracle, "note": note,
+           "module": json.loads(module_to_json(module))}
+    path = directory / f"{name}.json"
+    path.write_text(json.dumps(doc, indent=1) + "\n")
+    return path
+
+
+def load_case(path: Path) -> Case:
+    text = path.read_text()
+    if path.suffix == ".json":
+        doc = json.loads(text)
+        meta = {"oracle": doc.get("oracle", ""), "note": doc.get("note", "")}
+        return Case(path.stem, "ir", path,
+                    json.dumps(doc["module"]), meta)
+    kind = "crash" if path.parent.name == "crashes" else "asm"
+    return Case(path.stem, kind, path, text, _parse_meta(text))
+
+
+def iter_cases(root: Path) -> list[Case]:
+    """All corpus cases under *root* (regressions + crashes), sorted."""
+    cases = []
+    for sub in ("regressions", "crashes"):
+        directory = root / sub
+        if not directory.is_dir():
+            continue
+        for path in sorted(directory.iterdir()):
+            if path.suffix in (".s", ".json"):
+                cases.append(load_case(path))
+    return cases

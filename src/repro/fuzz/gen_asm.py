@@ -1,0 +1,360 @@
+"""Seeded random generator of well-formed :class:`MachineProgram`\\ s.
+
+The generator emits structured machine code — straight-line ALU runs,
+counted loops, diamonds, call/return pairs, traps, and connect clusters —
+so every program terminates, decodes under every fuzz config, and is
+statically clean (no RC001/CFG001 errors) by construction.  That last
+property is what makes the checker-soundness oracle decidable: a targeted
+mutation either leaves behavior unchanged or must surface a finding.
+
+Register discipline (``int_core=16``, ``fp_core=16`` fuzz machines):
+
+* ``r1..r7`` — the write pool; initialized up front, freely clobbered.
+* ``r8..r15`` — *unwritten homes*: never written directly, only read
+  through an explicit ``connect_use`` onto an extended register that a
+  ``connect_def`` cluster has just written.  NOP-ing that connect_use
+  therefore provably changes the read (home is unwritten) and must trip
+  RC001/UBD001.
+* ``f2..f14`` (even) — the FP pool; the FP file is never mapped.
+* extended physical registers live in ``[16, 256)``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.isa.instruction import Instr
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import Imm, PhysReg, RClass
+from repro.sim.program import MachineProgram, assemble
+
+INT_POOL = tuple(range(1, 8))
+UNWRITTEN_HOMES = tuple(range(8, 16))
+FP_POOL = tuple(range(2, 16, 2))
+EXT_RANGE = (16, 256)
+
+_INT_BINOPS = (
+    Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR, Opcode.XOR,
+    Opcode.SLL, Opcode.SRL, Opcode.SRA, Opcode.MUL,
+    Opcode.CMPEQ, Opcode.CMPNE, Opcode.CMPLT, Opcode.CMPLE,
+    Opcode.CMPGT, Opcode.CMPGE,
+)
+_FP_BINOPS = (Opcode.FADD, Opcode.FSUB, Opcode.FMUL)
+_COND_BRANCHES = (
+    Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BLE, Opcode.BGT,
+    Opcode.BGE, Opcode.BEQZ, Opcode.BNEZ,
+)
+
+
+@dataclass
+class AsmGenOptions:
+    """Knobs for the machine-level generator."""
+
+    max_segments: int = 6
+    max_loop_iters: int = 8
+    max_loop_depth: int = 2
+    connect_prob: float = 0.6
+    trap_prob: float = 0.2
+    call_prob: float = 0.3
+    div_prob: float = 0.15
+    #: Probability a DIV/REM keeps a register divisor (may fault; fault
+    #: parity between engines is itself an oracle).
+    unguarded_div_prob: float = 0.05
+    memory_words: int = 4
+
+
+@dataclass
+class GeneratedProgram:
+    """A generated program plus the facts oracles rely on."""
+
+    program: MachineProgram
+    #: Instruction indices of connect_use instrs whose NOP-ing provably
+    #: redirects a read to an unwritten home register.
+    load_bearing_connects: list[int] = field(default_factory=list)
+    has_connects: bool = False
+    #: True when a DIV/REM with a register divisor was emitted (the run may
+    #: legitimately fault with a divide-by-zero).
+    may_fault: bool = False
+
+
+def _ir(n: int) -> PhysReg:
+    return PhysReg(RClass.INT, n)
+
+
+def _fr(n: int) -> PhysReg:
+    return PhysReg(RClass.FP, n)
+
+
+class _Emitter:
+    def __init__(self, rng: random.Random, opts: AsmGenOptions) -> None:
+        self.rng = rng
+        self.opts = opts
+        self.instrs: list[Instr] = []
+        self.labels: dict[str, int] = {}
+        self._next_label = 0
+        self._next_ext = EXT_RANGE[0]
+        self.load_bearing: list[int] = []
+        self.has_connects = False
+        self.may_fault = False
+        self.memory: dict[int, int | float] = {}
+        self.trap_handlers: dict[int, str] = {}
+        self._subroutines: list[str] = []
+
+    def emit(self, instr: Instr) -> int:
+        self.instrs.append(instr)
+        return len(self.instrs) - 1
+
+    def label(self, prefix: str = "L") -> str:
+        name = f"{prefix}{self._next_label}"
+        self._next_label += 1
+        return name
+
+    def place(self, name: str) -> None:
+        self.labels[name] = len(self.instrs)
+
+    def fresh_ext(self) -> int:
+        """A fresh extended physical register (wraps around if exhausted)."""
+        phys = self._next_ext
+        self._next_ext += 1
+        if self._next_ext >= EXT_RANGE[1]:
+            self._next_ext = EXT_RANGE[0]
+        return phys
+
+    # -- segment emitters -----------------------------------------------------
+
+    def init_pools(self) -> None:
+        for n in INT_POOL:
+            self.emit(Instr(Opcode.LI, dest=_ir(n), imm=self._imm()))
+        for n in self.rng.sample(FP_POOL, 3):
+            self.emit(Instr(Opcode.LIF, dest=_fr(n),
+                            imm=float(self.rng.randint(-8, 8)) / 2))
+        if self.opts.memory_words and self.rng.random() < 0.5:
+            base = 4096
+            for i in range(self.rng.randint(1, self.opts.memory_words)):
+                self.memory[base + i] = self._imm()
+
+    def _imm(self) -> int:
+        r = self.rng.random()
+        if r < 0.7:
+            return self.rng.randint(-100, 100)
+        if r < 0.9:
+            return self.rng.randint(-(1 << 16), 1 << 16)
+        return self.rng.choice((1 << 62, -(1 << 62), (1 << 63) - 1))
+
+    def _pool(self, exclude: frozenset[int]) -> int:
+        choices = [n for n in INT_POOL if n not in exclude]
+        return self.rng.choice(choices)
+
+    def alu_run(self, exclude: frozenset[int]) -> None:
+        for _ in range(self.rng.randint(1, 5)):
+            op = self.rng.choice(_INT_BINOPS)
+            dest = self._pool(exclude)
+            a = self.rng.choice(INT_POOL)
+            b: PhysReg | Imm
+            if self.rng.random() < 0.3:
+                b = Imm(self._imm())
+            else:
+                b = _ir(self.rng.choice(INT_POOL))
+            self.emit(Instr(op, dest=_ir(dest), srcs=(_ir(a), b)))
+        if self.rng.random() < self.opts.div_prob:
+            op = self.rng.choice((Opcode.DIV, Opcode.REM))
+            dest = self._pool(exclude)
+            a = self.rng.choice(INT_POOL)
+            if self.rng.random() < self.opts.unguarded_div_prob:
+                self.may_fault = True
+                divisor: PhysReg | Imm = _ir(self.rng.choice(INT_POOL))
+            else:
+                value = self.rng.randint(1, 50) * self.rng.choice((1, -1))
+                divisor = Imm(value)
+            self.emit(Instr(op, dest=_ir(dest), srcs=(_ir(a), divisor)))
+
+    def fp_run(self, exclude: frozenset[int]) -> None:
+        for _ in range(self.rng.randint(1, 3)):
+            op = self.rng.choice(_FP_BINOPS)
+            dest = self.rng.choice(FP_POOL)
+            a, b = (self.rng.choice(FP_POOL) for _ in range(2))
+            self.emit(Instr(op, dest=_fr(dest), srcs=(_fr(a), _fr(b))))
+        if self.rng.random() < 0.3:
+            dest = self._pool(exclude)
+            self.emit(Instr(Opcode.CVTFI, dest=_ir(dest),
+                            srcs=(_fr(self.rng.choice(FP_POOL)),)))
+        if self.rng.random() < 0.3:
+            self.emit(Instr(Opcode.CVTIF, dest=_fr(self.rng.choice(FP_POOL)),
+                            srcs=(_ir(self.rng.choice(INT_POOL)),)))
+
+    def mem_run(self, exclude: frozenset[int]) -> None:
+        off = self.rng.randint(0, 48)
+        src = self.rng.choice(INT_POOL)
+        self.emit(Instr(Opcode.STORE, srcs=(_ir(src), _ir(0)), imm=off))
+        if self.rng.random() < 0.7:
+            dest = self._pool(exclude)
+            back = off if self.rng.random() < 0.7 else self.rng.randint(0, 48)
+            self.emit(Instr(Opcode.LOAD, dest=_ir(dest), srcs=(_ir(0),),
+                            imm=back))
+        if self.memory and self.rng.random() < 0.5:
+            addr = self.rng.choice(sorted(self.memory))
+            ptr = self._pool(exclude)
+            dest = self._pool(exclude)
+            self.emit(Instr(Opcode.LI, dest=_ir(ptr), imm=addr))
+            self.emit(Instr(Opcode.LOAD, dest=_ir(dest), srcs=(_ir(ptr),),
+                            imm=0))
+
+    def connect_cluster(self, exclude: frozenset[int]) -> None:
+        """``cdef A->P; write A; cuse B->P; read B`` then restore home maps.
+
+        ``B`` comes from the unwritten homes, so the read provably observes
+        the extended register; the cluster ends with both entries explicitly
+        reset to home so later code is model-independent.
+        """
+        self.has_connects = True
+        rng = self.rng
+        pairs = 2 if rng.random() < 0.3 else 1
+        defs = rng.sample([n for n in INT_POOL if n not in exclude],
+                          pairs)
+        uses = rng.sample(UNWRITTEN_HOMES, pairs)
+        exts = [self.fresh_ext() for _ in range(pairs)]
+        if pairs == 2 and rng.random() < 0.5:
+            self.emit(Instr(Opcode.CDD, imm=(RClass.INT, defs[0], exts[0],
+                                             defs[1], exts[1])))
+        else:
+            for a, p in zip(defs, exts):
+                self.emit(Instr(Opcode.CDEF, imm=(RClass.INT, a, p)))
+        for a in defs:
+            self.emit(Instr(Opcode.LI, dest=_ir(a), imm=self._imm()))
+        if pairs == 2 and rng.random() < 0.5:
+            idx = self.emit(Instr(Opcode.CUU, imm=(RClass.INT, uses[0],
+                                                   exts[0], uses[1],
+                                                   exts[1])))
+            self.load_bearing.append(idx)
+        else:
+            for b, p in zip(uses, exts):
+                idx = self.emit(Instr(Opcode.CUSE, imm=(RClass.INT, b, p)))
+                self.load_bearing.append(idx)
+        acc = self._pool(exclude)
+        for b in uses:
+            self.emit(Instr(Opcode.ADD, dest=_ir(acc),
+                            srcs=(_ir(acc), _ir(b))))
+        # Restore home mappings so trailing code reads core registers
+        # identically under every reset model.
+        for a in defs:
+            self.emit(Instr(Opcode.CDEF, imm=(RClass.INT, a, a)))
+        for b in uses:
+            self.emit(Instr(Opcode.CUSE, imm=(RClass.INT, b, b)))
+
+    def diamond(self, exclude: frozenset[int], depth: int) -> None:
+        then_label = self.label()
+        join_label = self.label()
+        a = self.rng.choice(INT_POOL)
+        op = self.rng.choice(_COND_BRANCHES)
+        if op in (Opcode.BEQZ, Opcode.BNEZ):
+            srcs: tuple = (_ir(a),)
+        else:
+            b: PhysReg | Imm = (Imm(self.rng.randint(-20, 20))
+                                if self.rng.random() < 0.5
+                                else _ir(self.rng.choice(INT_POOL)))
+            srcs = (_ir(a), b)
+        hint = self.rng.choice((None, True, False))
+        self.emit(Instr(op, srcs=srcs, label=then_label, hint_taken=hint))
+        self.body(exclude, depth, max_segments=2)  # else arm
+        self.emit(Instr(Opcode.JMP, label=join_label))
+        self.place(then_label)
+        self.body(exclude, depth, max_segments=2)  # then arm
+        self.place(join_label)
+
+    def loop(self, exclude: frozenset[int], depth: int) -> None:
+        counter = self._pool(exclude)
+        inner = exclude | {counter}
+        top = self.label()
+        n = self.rng.randint(2, self.opts.max_loop_iters)
+        self.emit(Instr(Opcode.LI, dest=_ir(counter), imm=0))
+        self.place(top)
+        self.body(inner, depth + 1, max_segments=2)
+        self.emit(Instr(Opcode.ADD, dest=_ir(counter),
+                        srcs=(_ir(counter), Imm(1))))
+        hint = self.rng.choice((None, True))
+        self.emit(Instr(Opcode.BLT, srcs=(_ir(counter), Imm(n)), label=top,
+                        hint_taken=hint))
+
+    def trap_seg(self, exclude: frozenset[int]) -> None:
+        vector = self.rng.randint(1, 4)
+        if vector not in self.trap_handlers:
+            self.trap_handlers[vector] = self.label("H")
+        self.emit(Instr(Opcode.TRAP, imm=vector))
+
+    def call_seg(self, exclude: frozenset[int]) -> None:
+        if not self._subroutines:
+            self._subroutines.append(self.label("F"))
+        target = self.rng.choice(self._subroutines)
+        self.emit(Instr(Opcode.CALL, label=target))
+
+    def body(self, exclude: frozenset[int], depth: int,
+             max_segments: int | None = None) -> None:
+        rng = self.rng
+        limit = max_segments or self.opts.max_segments
+        for _ in range(rng.randint(1, limit)):
+            roll = rng.random()
+            if roll < 0.30:
+                self.alu_run(exclude)
+            elif roll < 0.45:
+                self.fp_run(exclude)
+            elif roll < 0.60:
+                self.mem_run(exclude)
+            elif roll < 0.60 + 0.15 * self.opts.connect_prob:
+                self.connect_cluster(exclude)
+            elif roll < 0.80 and depth < self.opts.max_loop_depth:
+                if rng.random() < 0.5:
+                    self.loop(exclude, depth)
+                else:
+                    self.diamond(exclude, depth)
+            elif roll < 0.80 + 0.10 * self.opts.trap_prob:
+                self.trap_seg(exclude)
+            elif roll < 0.90 + 0.10 * self.opts.call_prob:
+                self.call_seg(exclude)
+            else:
+                self.alu_run(exclude)
+
+    def tail(self) -> None:
+        """Fold the pools into a checksum, store it, and halt."""
+        acc = 5
+        for n in INT_POOL:
+            if n != acc:
+                self.emit(Instr(Opcode.XOR, dest=_ir(acc),
+                                srcs=(_ir(acc), _ir(n))))
+        self.emit(Instr(Opcode.STORE, srcs=(_ir(acc), _ir(0)), imm=3000))
+        f = self.rng.choice(FP_POOL)
+        self.emit(Instr(Opcode.FSTORE, srcs=(_fr(f), _ir(0)), imm=3001))
+        self.emit(Instr(Opcode.HALT))
+
+    def appendix(self) -> None:
+        """Subroutine bodies and trap handlers, placed after ``halt``."""
+        for name in self._subroutines:
+            self.place(name)
+            self.alu_run(frozenset())
+            self.emit(Instr(Opcode.RET))
+        for vector, name in self.trap_handlers.items():
+            self.place(name)
+            marker = self.rng.choice(INT_POOL)
+            self.emit(Instr(Opcode.STORE, srcs=(_ir(marker), _ir(0)),
+                            imm=3100 + vector))
+            self.emit(Instr(Opcode.RTE))
+
+
+def gen_machine_program(seed: int,
+                        opts: AsmGenOptions | None = None) -> GeneratedProgram:
+    """Generate one seeded random machine program."""
+    opts = opts or AsmGenOptions()
+    rng = random.Random(seed)
+    em = _Emitter(rng, opts)
+    em.init_pools()
+    em.body(frozenset(), depth=0)
+    em.tail()
+    em.appendix()
+    handlers = {v: em.labels[name] for v, name in em.trap_handlers.items()}
+    program = assemble(em.instrs, labels=em.labels,
+                       initial_memory=em.memory, trap_handlers=handlers,
+                       name=f"fuzz-asm-{seed}")
+    return GeneratedProgram(program=program,
+                            load_bearing_connects=em.load_bearing,
+                            has_connects=em.has_connects,
+                            may_fault=em.may_fault)

@@ -1,0 +1,216 @@
+"""Seeded random generator of IR modules via :class:`FnBuilder`.
+
+Programs are structured (counted loops, diamonds, calls) so they always
+terminate, and every accumulator vreg is initialized in the entry block so
+no path reads an undefined register.  A register-pressure knob (the number
+of live accumulators) pushes the allocator into spilling and — on RC
+machines — into the extended register file, which is what makes the
+compiled output connect-rich for the downstream simulator oracles.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.ir.builder import FnBuilder
+from repro.ir.function import Module
+
+_INT_OPS = ("add", "sub", "mul", "and_", "or_", "xor", "sll", "srl", "sra",
+            "cmpeq", "cmpne", "cmplt", "cmple", "cmpgt", "cmpge")
+_FP_OPS = ("fadd", "fsub", "fmul")
+_BRANCHES = ("beq", "bne", "blt", "ble", "bgt", "bge", "beqz", "bnez")
+
+
+@dataclass
+class IRGenOptions:
+    """Knobs for the IR-level generator."""
+
+    min_accs: int = 4
+    #: Live integer accumulators — the register-pressure knob.  Anything
+    #: above the core file size forces spills / extended registers.
+    max_accs: int = 18
+    max_fp_accs: int = 4
+    max_segments: int = 5
+    max_loop_iters: int = 6
+    max_depth: int = 2
+    helper_prob: float = 0.6
+    div_prob: float = 0.2
+
+
+class _FnGen:
+    def __init__(self, rng: random.Random, opts: IRGenOptions,
+                 module: Module, helpers: list[str]) -> None:
+        self.rng = rng
+        self.opts = opts
+        self.module = module
+        self.helpers = helpers
+        self.b = FnBuilder(module, "main")
+        self._next = 0
+        n_accs = rng.randint(opts.min_accs, opts.max_accs)
+        n_fp = rng.randint(1, opts.max_fp_accs)
+        self.iaccs = [self.b.li(self._const(), name=f"acc{i}")
+                      for i in range(n_accs)]
+        self.faccs = [self.b.fli(float(rng.randint(-6, 6)) / 2 or 1.0,
+                                 name=f"facc{i}")
+                      for i in range(n_fp)]
+
+    def _label(self, stem: str) -> str:
+        self._next += 1
+        return f"{stem}{self._next}"
+
+    def _const(self) -> int:
+        r = self.rng.random()
+        if r < 0.8:
+            return self.rng.randint(-64, 64)
+        return self.rng.choice((1 << 30, -(1 << 30), (1 << 62)))
+
+    def _iacc(self):
+        return self.rng.choice(self.iaccs)
+
+    def _isrc(self):
+        return self._iacc() if self.rng.random() < 0.7 else self._const()
+
+    # -- segments -------------------------------------------------------------
+
+    def alu_seg(self) -> None:
+        b = self.b
+        for _ in range(self.rng.randint(1, 4)):
+            op = self.rng.choice(_INT_OPS)
+            getattr(b, op)(self._isrc(), self._isrc(), dest=self._iacc())
+        if self.rng.random() < self.opts.div_prob:
+            divisor = b.or_(self._isrc(), 1)  # guaranteed odd, never zero
+            fn = b.div if self.rng.random() < 0.5 else b.rem
+            fn(self._isrc(), divisor, dest=self._iacc())
+
+    def fp_seg(self) -> None:
+        b = self.b
+        for _ in range(self.rng.randint(1, 3)):
+            op = self.rng.choice(_FP_OPS)
+            a, c = (self.rng.choice(self.faccs) for _ in range(2))
+            getattr(b, op)(a, c, dest=self.rng.choice(self.faccs))
+        roll = self.rng.random()
+        if roll < 0.25:
+            d = b.fli(float(self.rng.randint(1, 4)))
+            b.fdiv(self.rng.choice(self.faccs), d,
+                   dest=self.rng.choice(self.faccs))
+        elif roll < 0.5:
+            b.fcmplt(self.rng.choice(self.faccs),
+                     self.rng.choice(self.faccs), dest=self._iacc())
+        elif roll < 0.75:
+            b.cvtif(self._iacc(), dest=self.rng.choice(self.faccs))
+
+    def mem_seg(self) -> None:
+        b = self.b
+        off = self.rng.randrange(8)
+        v = b.load(b.la("data"), off)
+        b.add(self._iacc(), v, dest=self._iacc())
+        if self.rng.random() < 0.6:
+            b.store(self._iacc(), b.la("out"), self.rng.randrange(8))
+
+    def call_seg(self) -> None:
+        if not self.helpers:
+            return self.alu_seg()
+        b = self.b
+        name = self.rng.choice(self.helpers)
+        r = b.call(name, [self._isrc(), self._isrc()], ret="i")
+        b.add(self._iacc(), r, dest=self._iacc())
+
+    def loop_seg(self, depth: int) -> None:
+        b = self.b
+        counter = b.li(0, name=self._label("c"))
+        iters = self.rng.randint(2, self.opts.max_loop_iters)
+        top = self._label("top")
+        b.block(top)
+        self.body(depth + 1, max_segments=2)
+        b.add(counter, 1, dest=counter)
+        b.br("blt", counter, iters, target=top)
+        b.block(self._label("after"))
+
+    def diamond_seg(self, depth: int) -> None:
+        b = self.b
+        then = self._label("then")
+        join = self._label("join")
+        cond = self.rng.choice(_BRANCHES)
+        if cond in ("beqz", "bnez"):
+            b.br(cond, self._iacc(), target=then)
+        else:
+            b.br(cond, self._iacc(), self._isrc(), target=then)
+        b.block(self._label("else"))
+        self.body(depth + 1, max_segments=1)
+        b.jmp(join)
+        b.block(then)
+        self.body(depth + 1, max_segments=1)
+        b.jmp(join)
+        b.block(join)
+
+    def body(self, depth: int, max_segments: int | None = None) -> None:
+        limit = max_segments or self.opts.max_segments
+        for _ in range(self.rng.randint(1, limit)):
+            roll = self.rng.random()
+            if roll < 0.35:
+                self.alu_seg()
+            elif roll < 0.50:
+                self.fp_seg()
+            elif roll < 0.65:
+                self.mem_seg()
+            elif roll < 0.75:
+                self.call_seg()
+            elif depth < self.opts.max_depth:
+                if self.rng.random() < 0.5:
+                    self.loop_seg(depth)
+                else:
+                    self.diamond_seg(depth)
+            else:
+                self.alu_seg()
+
+    def finish(self) -> None:
+        b = self.b
+        fold = b.li(0, name="fold")
+        for acc in self.iaccs:
+            b.xor(fold, acc, dest=fold)
+        b.store(fold, b.la("checksum"), 0)
+        fsum = self.faccs[0]
+        for facc in self.faccs[1:]:
+            b.fadd(fsum, facc, dest=fsum)
+        b.fstore(fsum, b.la("fsum"), 0)
+        b.halt()
+        b.done()
+
+
+def _gen_helper(rng: random.Random, opts: IRGenOptions, module: Module,
+                name: str) -> None:
+    b = FnBuilder(module, name, params=[("i", "a"), ("i", "b")], ret="i")
+    x, y = b.params
+    avail = [x, y]
+    for _ in range(rng.randint(2, 6)):
+        op = rng.choice(_INT_OPS)
+        a = rng.choice(avail)
+        c = rng.choice(avail) if rng.random() < 0.7 else rng.randint(-32, 32)
+        avail.append(getattr(b, op)(a, c))
+    if rng.random() < opts.div_prob:
+        divisor = b.or_(rng.choice(avail), 1)
+        avail.append(b.rem(rng.choice(avail), divisor))
+    b.ret(rng.choice(avail))
+    b.done()
+
+
+def gen_module(seed: int, opts: IRGenOptions | None = None) -> Module:
+    """Generate one seeded random IR module with a ``main`` entry."""
+    opts = opts or IRGenOptions()
+    rng = random.Random(seed)
+    module = Module(f"fuzz-ir-{seed}")
+    module.add_global("data", 8, [rng.randint(-100, 100) for _ in range(8)])
+    module.add_global("out", 8)
+    module.add_global("checksum", 1)
+    module.add_global("fsum", 1)
+    helpers: list[str] = []
+    if rng.random() < opts.helper_prob:
+        for i in range(rng.randint(1, 2)):
+            name = f"helper{i}"
+            _gen_helper(rng, opts, module, name)
+            helpers.append(name)
+    gen = _FnGen(rng, opts, module, helpers)
+    gen.body(depth=0)
+    gen.finish()
+    return module

@@ -1,0 +1,133 @@
+"""Targeted mutations over generated machine programs.
+
+Each mutation produces a *new* :class:`MachineProgram` (instructions are
+copied, never edited in place) plus a record of what changed, so the
+oracles can decide which guarantees apply: every mutant must preserve
+engine parity, and the ``nop_connect`` mutation on a load-bearing
+connect-use must either be neutral or surface a static-checker finding.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.isa.instruction import Instr
+from repro.isa.opcodes import CONNECT_OPS, Opcode
+from repro.isa.registers import Imm, RClass
+from repro.sim.program import MachineProgram
+
+MUTATIONS = ("nop_connect", "swap_operands", "flip_hint", "perturb_imm")
+
+
+@dataclass
+class MutationResult:
+    program: MachineProgram
+    kind: str
+    index: int
+    #: True for a ``nop_connect`` hitting a load-bearing connect-use — the
+    #: checker-completeness oracle applies to exactly these mutants.
+    targeted: bool = False
+
+
+def _rebuild(program: MachineProgram, index: int,
+             replacement: Instr) -> MachineProgram:
+    instrs = [i.copy() for i in program.instrs]
+    instrs[index] = replacement
+    return MachineProgram(
+        instrs=instrs,
+        targets=list(program.targets),
+        initial_memory=dict(program.initial_memory),
+        entry=program.entry,
+        initial_sp=program.initial_sp,
+        trap_handlers=dict(program.trap_handlers),
+        name=f"{program.name}-mut",
+        suppressions=dict(program.suppressions),
+    )
+
+
+def _nop_connect(rng: random.Random, program: MachineProgram,
+                 load_bearing: list[int]) -> MutationResult | None:
+    sites = [i for i, ins in enumerate(program.instrs)
+             if ins.op in CONNECT_OPS]
+    if not sites:
+        return None
+    bearing = [i for i in load_bearing if i in sites]
+    if bearing and rng.random() < 0.7:
+        index = rng.choice(bearing)
+    else:
+        index = rng.choice(sites)
+    return MutationResult(_rebuild(program, index, Instr(Opcode.NOP)),
+                          "nop_connect", index, targeted=index in bearing)
+
+
+def _swap_operands(rng: random.Random, program: MachineProgram,
+                   _load_bearing: list[int]) -> MutationResult | None:
+    def swappable(ins: Instr) -> bool:
+        if len(ins.srcs) != 2:
+            return False
+        classes = {RClass.INT if isinstance(s, Imm) else s.cls
+                   for s in ins.srcs}
+        return len(classes) == 1
+
+    sites = [i for i, ins in enumerate(program.instrs) if swappable(ins)]
+    if not sites:
+        return None
+    index = rng.choice(sites)
+    ins = program.instrs[index].copy()
+    ins.srcs = (ins.srcs[1], ins.srcs[0])
+    return MutationResult(_rebuild(program, index, ins),
+                          "swap_operands", index)
+
+
+def _flip_hint(rng: random.Random, program: MachineProgram,
+               _load_bearing: list[int]) -> MutationResult | None:
+    sites = [i for i, ins in enumerate(program.instrs)
+             if ins.is_cond_branch]
+    if not sites:
+        return None
+    index = rng.choice(sites)
+    ins = program.instrs[index].copy()
+    ins.hint_taken = {None: True, True: False, False: None}[ins.hint_taken]
+    return MutationResult(_rebuild(program, index, ins), "flip_hint", index)
+
+
+def _perturb_imm(rng: random.Random, program: MachineProgram,
+                 _load_bearing: list[int]) -> MutationResult | None:
+    sites = [i for i, ins in enumerate(program.instrs)
+             if ins.op in (Opcode.LI, Opcode.LOAD, Opcode.STORE)]
+    if not sites:
+        return None
+    index = rng.choice(sites)
+    ins = program.instrs[index].copy()
+    delta = rng.choice((-7, -1, 1, 13, 1 << 40))
+    if ins.op is Opcode.LI:
+        ins.imm = ins.imm + delta
+    else:
+        # Keep memory offsets non-negative so stores stay near the probe
+        # region instead of wrapping below address zero.
+        ins.imm = max(0, ins.imm + delta)
+    return MutationResult(_rebuild(program, index, ins), "perturb_imm", index)
+
+
+_MUTATORS = {
+    "nop_connect": _nop_connect,
+    "swap_operands": _swap_operands,
+    "flip_hint": _flip_hint,
+    "perturb_imm": _perturb_imm,
+}
+
+
+def mutate_program(rng: random.Random, program: MachineProgram,
+                   load_bearing: list[int] | None = None,
+                   kind: str | None = None) -> MutationResult | None:
+    """Apply one random (or the requested) mutation; ``None`` when no site
+    for any mutation exists in the program."""
+    load_bearing = load_bearing or []
+    kinds = [kind] if kind else list(MUTATIONS)
+    rng.shuffle(kinds)
+    for name in kinds:
+        result = _MUTATORS[name](rng, program, load_bearing)
+        if result is not None:
+            return result
+    return None

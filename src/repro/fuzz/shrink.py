@@ -1,0 +1,225 @@
+"""Delta-debugging minimizers for failing fuzz cases.
+
+Both shrinkers take a *predicate* — "does this candidate still trip the
+oracle?" — and greedily apply reductions that keep the predicate true,
+re-checking after every step:
+
+* :func:`shrink_machine` deletes instruction ranges from a flat
+  :class:`MachineProgram`, retargeting branches across the cut (a target
+  inside a deleted range moves to the first surviving instruction after
+  it).  Range deletion first (halves, quarters, ...), then single
+  instructions to a fixpoint.
+* :func:`shrink_module` works on IR: delete non-terminator instructions,
+  collapse conditional branches to unconditional jumps (which lets
+  unreachable-block elimination delete whole blocks — the delete-block
+  pass), and drop entire uncalled functions.
+
+A candidate whose construction or predicate evaluation raises is simply
+rejected; the shrinkers never propagate candidate errors.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable
+
+from repro.ir.function import Module
+from repro.isa.instruction import Instr
+from repro.isa.opcodes import Opcode
+from repro.sim.program import MachineProgram
+
+Predicate = Callable[[object], bool]
+
+
+def _holds(predicate: Predicate, candidate) -> bool:
+    try:
+        return bool(predicate(candidate))
+    except Exception:  # noqa: BLE001 - malformed candidate: reject it
+        return False
+
+
+# -- machine-program shrinking -------------------------------------------------
+
+def delete_range(program: MachineProgram, start: int,
+                 stop: int) -> MachineProgram | None:
+    """Delete instructions ``[start, stop)``, retargeting control flow.
+
+    Returns ``None`` when the deletion cannot produce a valid program
+    (empty result, or a branch/entry/handler would point past the end).
+    """
+    cut = stop - start
+    instrs = program.instrs[:start] + program.instrs[stop:]
+    if not instrs:
+        return None
+
+    def adjust(target: int | None) -> int | None | str:
+        if target is None:
+            return None
+        if target >= stop:
+            return target - cut
+        if target >= start:
+            # Fell inside the cut: move to the first surviving instruction
+            # after it, unless the cut reached the end of the program.
+            return start if start < len(instrs) else "invalid"
+        return target
+
+    targets: list[int | None] = []
+    for k, target in enumerate(program.targets):
+        if start <= k < stop:
+            continue
+        moved = adjust(target)
+        if moved == "invalid":
+            return None
+        targets.append(moved)
+    entry = adjust(program.entry)
+    handlers = {v: adjust(t) for v, t in program.trap_handlers.items()}
+    if entry == "invalid" or "invalid" in handlers.values():
+        return None
+    suppressions = {}
+    for index, rules in program.suppressions.items():
+        if index < 0:
+            suppressions[index] = rules
+        elif not start <= index < stop:
+            moved = adjust(index)
+            if moved != "invalid":
+                suppressions[moved] = rules
+    try:
+        return MachineProgram(
+            instrs=[i.copy() for i in instrs],
+            targets=targets,
+            initial_memory=dict(program.initial_memory),
+            entry=entry,
+            initial_sp=program.initial_sp,
+            trap_handlers=handlers,
+            name=f"{program.name}-min",
+            suppressions=suppressions,
+        )
+    except Exception:  # noqa: BLE001 - invalid deletion: reject it
+        return None
+
+
+def shrink_machine(program: MachineProgram, predicate: Predicate,
+                   max_rounds: int = 40) -> MachineProgram:
+    """Minimize *program* while *predicate* keeps returning True."""
+    current = program
+    for _round in range(max_rounds):
+        changed = False
+        # Coarse pass: binary-search style range deletion.
+        chunk = len(current.instrs) // 2
+        while chunk >= 1:
+            start = 0
+            while start < len(current.instrs):
+                candidate = delete_range(current, start,
+                                         min(start + chunk,
+                                             len(current.instrs)))
+                if candidate is not None and _holds(predicate, candidate):
+                    current = candidate
+                    changed = True
+                else:
+                    start += chunk
+            chunk //= 2
+        # Fine pass: drop initial memory words and trap handlers.
+        for addr in sorted(current.initial_memory):
+            candidate = copy.deepcopy(current)
+            del candidate.initial_memory[addr]
+            if _holds(predicate, candidate):
+                current = candidate
+                changed = True
+        for vector in sorted(current.trap_handlers):
+            candidate = copy.deepcopy(current)
+            del candidate.trap_handlers[vector]
+            if _holds(predicate, candidate):
+                current = candidate
+                changed = True
+        if not changed:
+            break
+    return current
+
+
+# -- IR module shrinking -------------------------------------------------------
+
+def _module_sites(module: Module):
+    for fn_name, fn in module.functions.items():
+        for bi, block in enumerate(fn.blocks):
+            body = len(block.instrs)
+            if block.terminator is not None:
+                body -= 1
+            for ii in range(body):
+                yield fn_name, bi, ii
+
+
+def _delete_ir_instr(module: Module, fn_name: str, bi: int,
+                     ii: int) -> Module | None:
+    candidate = copy.deepcopy(module)
+    try:
+        del candidate.functions[fn_name].blocks[bi].instrs[ii]
+    except (KeyError, IndexError):
+        return None
+    return candidate
+
+
+def _collapse_branches(module: Module):
+    """Candidates that replace a conditional terminator with a plain jump
+    to one successor, then drop any blocks that become unreachable."""
+    for fn_name, fn in module.functions.items():
+        for bi, block in enumerate(fn.blocks):
+            term = block.terminator
+            if term is None or not term.is_cond_branch:
+                continue
+            for successor in (term.label, block.fallthrough):
+                if successor is None:
+                    continue
+                candidate = copy.deepcopy(module)
+                cfn = candidate.functions[fn_name]
+                cblock = cfn.blocks[bi]
+                cblock.instrs[-1] = Instr(Opcode.JMP, label=successor)
+                cblock.fallthrough = None
+                try:
+                    cfn.remove_unreachable_blocks()
+                except Exception:  # noqa: BLE001
+                    continue
+                yield candidate
+
+
+def _drop_functions(module: Module):
+    called = set()
+    for fn in module.functions.values():
+        for _block, instr in fn.iter_instrs():
+            if instr.op is Opcode.CALL and instr.label:
+                called.add(instr.label)
+    for name in module.functions:
+        if name != "main" and name not in called:
+            candidate = copy.deepcopy(module)
+            del candidate.functions[name]
+            yield candidate
+
+
+def shrink_module(module: Module, predicate: Predicate,
+                  max_rounds: int = 40) -> Module:
+    """Minimize an IR *module* while *predicate* keeps returning True."""
+    current = module
+    for _round in range(max_rounds):
+        changed = False
+        for candidate in _drop_functions(current):
+            if _holds(predicate, candidate):
+                current = candidate
+                changed = True
+                break
+        for candidate in _collapse_branches(current):
+            if _holds(predicate, candidate):
+                current = candidate
+                changed = True
+                break
+        # Instruction deletion: first deletable site wins, then rescan.
+        deleted = True
+        while deleted:
+            deleted = False
+            for fn_name, bi, ii in _module_sites(current):
+                candidate = _delete_ir_instr(current, fn_name, bi, ii)
+                if candidate is not None and _holds(predicate, candidate):
+                    current = candidate
+                    changed = deleted = True
+                    break
+        if not changed:
+            break
+    return current

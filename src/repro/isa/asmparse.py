@@ -59,7 +59,7 @@ def _strip_comment(line: str) -> str:
     return line.strip()
 
 
-def _parse_operand(text: str):
+def _parse_operand(text: str, lineno: int = 0):
     text = text.strip()
     m = _REG_RE.match(text)
     if m:
@@ -72,14 +72,23 @@ def _parse_operand(text: str):
     try:
         return Imm(float(text))
     except ValueError:
-        raise AsmError(f"bad operand {text!r}") from None
+        raise AsmError(f"line {lineno}: bad operand {text!r}") from None
 
 
-def _parse_connect_field(text: str, expect: str) -> tuple[RClass, int]:
+def _parse_reg(text: str, lineno: int, what: str) -> PhysReg:
+    operand = _parse_operand(text, lineno)
+    if not isinstance(operand, PhysReg):
+        raise AsmError(f"line {lineno}: {what} must be a register, "
+                       f"got {text.strip()!r}")
+    return operand
+
+
+def _parse_connect_field(text: str, expect: str,
+                         lineno: int = 0) -> tuple[RClass, int]:
     m = _CONNECT_RE.match(text.strip())
     if not m or m.group(2) != expect:
-        raise AsmError(f"bad connect operand {text!r} (expected "
-                       f"'{expect}'-form like r{expect}3)")
+        raise AsmError(f"line {lineno}: bad connect operand {text!r} "
+                       f"(expected '{expect}'-form like r{expect}3)")
     cls = RClass.INT if m.group(1) == "r" else RClass.FP
     return cls, int(m.group(3))
 
@@ -125,8 +134,9 @@ def parse_instr(line: str, lineno: int = 0) -> Instr:
         pieces = []
         rclass = None
         for pair in range(len(kinds)):
-            cls_i, idx = _parse_connect_field(fields[2 * pair], "i")
-            cls_p, phys = _parse_connect_field(fields[2 * pair + 1], "p")
+            cls_i, idx = _parse_connect_field(fields[2 * pair], "i", lineno)
+            cls_p, phys = _parse_connect_field(fields[2 * pair + 1], "p",
+                                               lineno)
             if cls_i is not cls_p:
                 raise AsmError(f"line {lineno}: connect class mismatch")
             if rclass is None:
@@ -137,38 +147,47 @@ def parse_instr(line: str, lineno: int = 0) -> Instr:
         return Instr(op, imm=(rclass, *pieces))
 
     if op is Opcode.TRAP:
-        return Instr(op, imm=int(rest.strip(), 0))
+        vector_text = rest.strip()
+        if not vector_text:
+            raise AsmError(f"line {lineno}: trap needs a vector number")
+        try:
+            return Instr(op, imm=int(vector_text, 0))
+        except ValueError:
+            raise AsmError(f"line {lineno}: bad trap vector "
+                           f"{vector_text!r}") from None
     if op in (Opcode.CALL, Opcode.JMP) and label is None:
         # "call helper" / "jmp loop" style (no arrow)
         label = rest.strip() or None
         rest = ""
+    if op in (Opcode.CALL, Opcode.JMP) and label is None:
+        raise AsmError(f"line {lineno}: {mnemonic} needs a target label")
     fields = _split_operands(rest)
 
     if op in (Opcode.LOAD, Opcode.FLOAD):
         if len(fields) != 2:
             raise AsmError(f"line {lineno}: load needs dest, off(base)")
-        dest = _parse_operand(fields[0])
+        dest = _parse_reg(fields[0], lineno, "load destination")
         m = _MEM_RE.match(fields[1])
         if not m:
             raise AsmError(f"line {lineno}: bad memory operand "
                            f"{fields[1]!r}")
-        return Instr(op, dest=dest, srcs=(_parse_operand(m.group(2)),),
+        return Instr(op, dest=dest, srcs=(_parse_operand(m.group(2), lineno),),
                      imm=int(m.group(1)))
     if op in (Opcode.STORE, Opcode.FSTORE):
         if len(fields) != 2:
             raise AsmError(f"line {lineno}: store needs value, off(base)")
-        value = _parse_operand(fields[0])
+        value = _parse_operand(fields[0], lineno)
         m = _MEM_RE.match(fields[1])
         if not m:
             raise AsmError(f"line {lineno}: bad memory operand "
                            f"{fields[1]!r}")
-        return Instr(op, srcs=(value, _parse_operand(m.group(2))),
+        return Instr(op, srcs=(value, _parse_operand(m.group(2), lineno)),
                      imm=int(m.group(1)))
     if op in (Opcode.LI, Opcode.LIF):
         if len(fields) != 2:
             raise AsmError(f"line {lineno}: {mnemonic} needs dest, imm")
-        dest = _parse_operand(fields[0])
-        imm = _parse_operand(fields[1])
+        dest = _parse_reg(fields[0], lineno, f"{mnemonic} destination")
+        imm = _parse_operand(fields[1], lineno)
         if not isinstance(imm, Imm):
             raise AsmError(f"line {lineno}: {mnemonic} immediate expected")
         value = imm.value
@@ -178,12 +197,15 @@ def parse_instr(line: str, lineno: int = 0) -> Instr:
     if op is Opcode.MFMAP:
         raise AsmError(f"line {lineno}: mfmap is not supported in text form")
 
-    operands = [_parse_operand(f) for f in fields]
+    operands = [_parse_operand(f, lineno) for f in fields]
     dest = None
     if s.dest is not None:
         if not operands:
             raise AsmError(f"line {lineno}: {mnemonic} needs a destination")
         dest = operands.pop(0)
+        if not isinstance(dest, PhysReg):
+            raise AsmError(f"line {lineno}: {mnemonic} destination must be "
+                           f"a register")
     instr = Instr(op, dest=dest, srcs=tuple(operands), label=label,
                   hint_taken=hint)
     expected = len(s.srcs)
@@ -201,10 +223,12 @@ def parse_program(text: str):
     from repro.sim.program import assemble
 
     instrs: list[Instr] = []
+    instr_lines: list[int] = []
     labels: dict[str, int] = {}
     memory: dict[int, int | float] = {}
-    handlers: dict[int, str] = {}
+    handlers: dict[int, tuple[str, int]] = {}
     entry_label: str | None = None
+    entry_line = 0
     suppressions: dict[int, frozenset[str]] = {}
 
     for lineno, raw in enumerate(text.splitlines(), start=1):
@@ -217,20 +241,28 @@ def parse_program(text: str):
                 suppressions[-1] = suppressions.get(-1, frozenset()) | ignored
             continue
         if line.startswith(".entry"):
-            entry_label = line.split()[1]
+            parts = line.split()
+            if len(parts) != 2:
+                raise AsmError(f"line {lineno}: .entry needs exactly one "
+                               f"label")
+            entry_label = parts[1]
+            entry_line = lineno
             continue
         if line.startswith(".word"):
             m = re.match(r"^\.word\s+(\d+)\s*=\s*(.+)$", line)
             if not m:
                 raise AsmError(f"line {lineno}: bad .word directive")
-            value = _parse_operand(m.group(2))
+            value = _parse_operand(m.group(2), lineno)
+            if not isinstance(value, Imm):
+                raise AsmError(f"line {lineno}: .word value must be a "
+                               f"number")
             memory[int(m.group(1))] = value.value
             continue
         if line.startswith(".handler"):
             m = re.match(r"^\.handler\s+(\d+)\s*=\s*(\S+)$", line)
             if not m:
                 raise AsmError(f"line {lineno}: bad .handler directive")
-            handlers[int(m.group(1))] = m.group(2)
+            handlers[int(m.group(1))] = (m.group(2), lineno)
             continue
         m = _LABEL_RE.match(line)
         if m:
@@ -240,19 +272,25 @@ def parse_program(text: str):
             labels[name] = len(instrs)
             continue
         instrs.append(parse_instr(line, lineno))
+        instr_lines.append(lineno)
         if ignored:
             index = len(instrs) - 1
             suppressions[index] = suppressions.get(index, frozenset()) | ignored
 
+    for instr, lineno in zip(instrs, instr_lines):
+        if (instr.label is not None and instr.op is not Opcode.RET
+                and instr.label not in labels):
+            raise AsmError(f"line {lineno}: unknown label {instr.label!r}")
     trap_handlers = {}
-    for vector, label in handlers.items():
+    for vector, (label, lineno) in handlers.items():
         if label not in labels:
-            raise AsmError(f"unknown handler label {label!r}")
+            raise AsmError(f"line {lineno}: unknown handler label {label!r}")
         trap_handlers[vector] = labels[label]
     entry = 0
     if entry_label is not None:
         if entry_label not in labels:
-            raise AsmError(f"unknown entry label {entry_label!r}")
+            raise AsmError(f"line {entry_line}: unknown entry label "
+                           f"{entry_label!r}")
         entry = labels[entry_label]
     return assemble(instrs, labels=labels, initial_memory=memory,
                     entry=entry, trap_handlers=trap_handlers,

@@ -288,6 +288,10 @@ class Simulator:
         program = self.program
         dec = self._decoded
 
+        if getattr(self, "_failed", False):
+            raise SimulationError(
+                "cannot resume a simulator after a failed run: "
+                "architectural state is no longer consistent")
         if not hasattr(self, "_stats"):
             # First entry: initialize resumable microarchitectural state.
             self._stats = SimStats()
@@ -334,6 +338,12 @@ class Simulator:
         halted = self._halted
         pending = self._interrupts
         n_instrs = len(dec)
+
+        # Poison the resume state until this segment completes cleanly; an
+        # exception below leaves registers/memory half-updated and the
+        # per-segment locals unsaved, so resuming would silently produce
+        # garbage (and would diverge from the fast engine, which restarts).
+        self._failed = True
 
         while not halted and (until_cycle is None or cycle < until_cycle):
             if cycle > max_cycles:
@@ -603,6 +613,7 @@ class Simulator:
             cycle = next_cycle
 
         stats.cycles = cycle
+        self._failed = False
         self._pc = pc
         self._cycle = cycle
         self._halted = halted

@@ -800,12 +800,23 @@ class FastSimulator:
                 or ref.trace_hook is not None
                 or ref._interrupts
                 or hasattr(ref, "_stats")
+                or getattr(ref, "_failed", False)
                 or self._compiled_entry is None):
             # Per-event guarantees (observation, interrupts, resumability)
-            # or an unsupported program shape: reference engine.
+            # or an unsupported program shape: reference engine.  A poisoned
+            # reference (failed earlier run) also lands here so both engines
+            # refuse to resume with the same diagnostic.
+            self.ran_fastpath = False
             return ref.run(until_cycle)
         self.ran_fastpath = True
-        return self._run_fast()
+        try:
+            return self._run_fast()
+        except BaseException:
+            # Architectural state is half-updated and no resume state was
+            # published; mark the embedded reference so a later run() raises
+            # instead of silently restarting from the entry point.
+            ref._failed = True
+            raise
 
     def _run_fast(self) -> SimResult:
         ref = self._ref
