@@ -12,7 +12,7 @@ from pathlib import Path
 
 PACKAGES = [
     "repro.isa", "repro.ir", "repro.compiler", "repro.rc", "repro.sim",
-    "repro.analyze", "repro.workloads", "repro.experiments",
+    "repro.analyze", "repro.workloads", "repro.experiments", "repro.serve",
 ]
 EXTRA_MODULES = [
     "repro.isa.asmparse", "repro.isa.encoding", "repro.sim.tracing",

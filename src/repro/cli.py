@@ -24,12 +24,14 @@ from __future__ import annotations
 
 import argparse
 import copy
+import dataclasses
 import json
 import sys
 import time
 from concurrent.futures import ProcessPoolExecutor
 
 from repro.analyze import annotate_listing, check_program
+from repro.errors import CycleBudgetError
 from repro.compiler import CompileOptions, OptOptions, compile_module
 from repro.compiler.regalloc.allocator import AllocationOptions
 from repro.experiments import ALL_FIGURES, ExperimentRunner, SweepExecutor
@@ -80,6 +82,9 @@ def _machine_args(parser: argparse.ArgumentParser) -> None:
                         help="memory channels (default per issue width)")
     parser.add_argument("--unlimited", action="store_true",
                         help="use the unlimited-register machine")
+    parser.add_argument("--max-cycles", type=int, default=None,
+                        help="abort the simulation past this cycle budget "
+                             "(exit with a budget-exceeded error)")
 
 
 def _compile_args(parser: argparse.ArgumentParser) -> None:
@@ -93,23 +98,28 @@ def _compile_args(parser: argparse.ArgumentParser) -> None:
 
 def _build_machine(args, kind: str):
     if args.unlimited:
-        return unlimited_machine(issue_width=args.issue,
-                                 load_latency=args.load,
-                                 mem_channels=args.channels)
-    rc_class = None
-    if args.rc:
-        rc_class = RClass.INT if kind == "int" else RClass.FP
-    return paper_machine(
-        issue_width=args.issue,
-        load_latency=args.load,
-        int_core=args.int_core,
-        fp_core=args.fp_core,
-        rc_class=rc_class,
-        connect_latency=args.connect,
-        extra_decode_stage=args.extra_stage,
-        rc_model=RCModel(args.model),
-        mem_channels=args.channels,
-    )
+        config = unlimited_machine(issue_width=args.issue,
+                                   load_latency=args.load,
+                                   mem_channels=args.channels)
+    else:
+        rc_class = None
+        if args.rc:
+            rc_class = RClass.INT if kind == "int" else RClass.FP
+        config = paper_machine(
+            issue_width=args.issue,
+            load_latency=args.load,
+            int_core=args.int_core,
+            fp_core=args.fp_core,
+            rc_class=rc_class,
+            connect_latency=args.connect,
+            extra_decode_stage=args.extra_stage,
+            rc_model=RCModel(args.model),
+            mem_channels=args.channels,
+        )
+    budget = getattr(args, "max_cycles", None)
+    if budget is not None:
+        config = dataclasses.replace(config, max_cycles=budget)
+    return config
 
 
 def _build_options(args) -> CompileOptions:
@@ -137,7 +147,11 @@ def cmd_list(_args) -> int:
 
 def cmd_run(args) -> int:
     w, module, config, out = _compile_benchmark(args)
-    result = simulate(out.program, config, engine=args.engine)
+    try:
+        result = simulate(out.program, config, engine=args.engine)
+    except CycleBudgetError as exc:
+        print(f"budget-exceeded: {exc}", file=sys.stderr)
+        return 3
     addr = module.global_addr("checksum")
     got = result.load_word(addr)
     want = out.interp.load_word(addr)
@@ -280,7 +294,11 @@ def cmd_asm(args) -> int:
     with open(args.file) as fh:
         program = parse_program(fh.read())
     config = _build_machine(args, "int")
-    result = simulate(program, config, engine=args.engine)
+    try:
+        result = simulate(program, config, engine=args.engine)
+    except CycleBudgetError as exc:
+        print(f"budget-exceeded: {exc}", file=sys.stderr)
+        return 3
     print(f"machine  {config.describe()}")
     print(f"cycles   {result.cycles}")
     print(f"instrs   {result.stats.instructions}"
@@ -363,11 +381,55 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve import serve
+
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    try:
+        asyncio.run(serve(host=args.host, port=args.port, jobs=jobs,
+                          artifact_dir=args.artifact_dir,
+                          max_cycles_cap=args.max_cycles_cap,
+                          rate=args.rate, quiet=args.quiet))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _fuzz_serve(args) -> int:
+    from repro.fuzz.serve_replay import run_serve_replay
+
+    def progress(done, total):
+        print(f"  [{done}/{total}] seeds replayed", file=sys.stderr)
+
+    report = run_serve_replay(args.serve, budget=args.budget,
+                              seed=args.seed, progress=progress)
+    text = json.dumps(report.to_dict(), indent=2) + "\n"
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"wrote serve replay report to {args.output}",
+              file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    print(f"fuzz --serve: {report.seeds} seeds, {report.jobs} remote jobs "
+          f"({report.artifact_hits} artifact hits), "
+          f"{len(report.divergences)} divergence(s) in "
+          f"{report.elapsed_sec:.1f}s: "
+          f"{'clean' if report.clean else 'FAIL'}", file=sys.stderr)
+    for div in report.divergences:
+        print(f"  [{div.oracle}] {div.detail}", file=sys.stderr)
+    return 0 if report.clean else 1
+
+
 def cmd_fuzz(args) -> int:
     from pathlib import Path
 
     from repro.fuzz import FuzzOptions, run_fuzz
 
+    if args.serve:
+        return _fuzz_serve(args)
     opts = FuzzOptions(
         seed=args.seed,
         budget=args.budget,
@@ -599,9 +661,30 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip replaying the committed corpus")
     p.add_argument("--no-shrink", action="store_true",
                    help="report raw reproducers without minimizing them")
+    p.add_argument("--serve", default="",
+                   help="replay parity oracles as remote jobs against a "
+                        "running 'repro serve' at this URL")
     p.add_argument("-o", "--output", default=None,
                    help="write the JSON report to this file")
     p.set_defaults(fn=cmd_fuzz)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the compile-and-simulate HTTP/JSON job service")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8321)
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes (default REPRO_JOBS or CPU count)")
+    p.add_argument("--artifact-dir", default=".repro_artifacts",
+                   help="content-addressed artifact store root")
+    p.add_argument("--max-cycles-cap", type=int, default=None,
+                   help="server-side cap on per-job cycle budgets")
+    p.add_argument("--rate", type=float, default=0.0,
+                   help="per-client submissions/sec token-bucket rate "
+                        "(0 disables limiting)")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress the startup banner")
+    p.set_defaults(fn=cmd_serve)
     return parser
 
 

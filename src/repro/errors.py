@@ -25,5 +25,14 @@ class SimulationFault(SimulationError):
     """A fault raised by the simulated program itself (e.g. divide by zero)."""
 
 
+class CycleBudgetError(SimulationError):
+    """The run exceeded its configured ``max_cycles`` budget.
+
+    Distinguished from other simulation errors so budget-capped callers
+    (the serve scheduler, fuzz harness) can classify the rejection without
+    string-matching the message.
+    """
+
+
 class ConfigError(ReproError):
     """An experiment or machine configuration is inconsistent."""

@@ -108,16 +108,27 @@ _worker_runners: dict[tuple, ExperimentRunner] = {}
 
 
 def _run_job(scale: int, cache_dir: str, verify: bool, engine: str,
-             job: SweepJob) -> tuple[RunRecord, float]:
+             job: SweepJob) -> tuple[RunRecord, float, dict]:
+    """Run one job in a worker; returns the record, the elapsed time, and
+    the worker runner's cache-counter *delta* for this job.
+
+    The delta matters because pool workers mutate forked (or freshly
+    constructed) runners the parent never sees: the parent aggregates these
+    per-job deltas so its hit/miss totals stay truthful under ``jobs>1``.
+    """
     key = (scale, cache_dir, verify, engine)
     runner = _worker_runners.get(key)
     if runner is None:
         runner = ExperimentRunner(scale=scale, cache_dir=cache_dir,
                                   verify_checksums=verify, engine=engine)
         _worker_runners[key] = runner
+    before = runner.counters()
     start = time.perf_counter()
     record = runner.run(job.benchmark, job.config, **job.kwargs())
-    return record, time.perf_counter() - start
+    elapsed = time.perf_counter() - start
+    after = runner.counters()
+    delta = {name: after[name] - before[name] for name in after}
+    return record, elapsed, delta
 
 
 # -- job collection (figure prewarm) ----------------------------------------------
@@ -291,14 +302,17 @@ class SweepExecutor:
                     key, idxs = futures[fut]
                     record, elapsed, error = None, 0.0, None
                     try:
-                        record, elapsed = fut.result()
+                        record, elapsed, delta = fut.result()
                     except Exception as exc:  # noqa: BLE001
                         error = f"{type(exc).__name__}: {exc}"
                     if record is not None:
                         # Adopt the worker's record so later parent-side
-                        # lookups hit memory, not disk.
+                        # lookups hit memory, not disk, and fold the
+                        # worker's counter delta into the parent runner
+                        # (the forked worker's own counters are invisible
+                        # here).
                         runner._memory[key] = record
-                        runner.cache_misses += 1
+                        runner.absorb_counters(delta)
                     for i in idxs:
                         done = self._finish(i, jobs[i], record, elapsed,
                                             error, results, done, total)

@@ -175,6 +175,26 @@ class ExperimentRunner:
         self.compile_hits = 0
         self.compile_misses = 0
 
+    #: the counter attributes :meth:`counters` snapshots.
+    COUNTER_FIELDS = ("cache_hits", "cache_misses",
+                      "compile_hits", "compile_misses")
+
+    def counters(self) -> dict[str, int]:
+        """A snapshot of the cache traffic counters.
+
+        Pool workers run jobs on *forked copies* of a runner, so counters
+        they bump are invisible to the parent; callers that fan out take a
+        snapshot around each remote job and ship the delta back (see
+        :func:`repro.experiments.executor._run_job` and
+        :meth:`absorb_counters`).
+        """
+        return {name: getattr(self, name) for name in self.COUNTER_FIELDS}
+
+    def absorb_counters(self, delta: dict[str, int]) -> None:
+        """Add a worker's counter delta into this (parent) runner."""
+        for name in self.COUNTER_FIELDS:
+            setattr(self, name, getattr(self, name) + delta.get(name, 0))
+
     # -- caching ---------------------------------------------------------------
 
     def _cache_path(self, key: str) -> Path:

@@ -1,0 +1,106 @@
+"""Replay the fuzz oracles against a running ``repro serve`` instance.
+
+``repro fuzz --serve <url>`` drives the same seeded program generator as
+the local harness, but executes each parity run as a *remote job*: the
+program is serialized to assembly text, submitted once per engine with
+the engine pinned explicitly (so the two submissions cannot coalesce
+onto one artifact), and the engine-parity oracle compares the job
+results — cycles, instruction counts, and fault classification must
+agree between the fast and reference engines end-to-end through the
+wire format, scheduler, and worker pool.
+
+This doubles as an integration fuzz of the service itself: every
+generated program exercises payload validation, the artifact
+fingerprint, and the worker's error classification.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.fuzz.corpus import program_to_text
+from repro.fuzz.gen_asm import AsmGenOptions, gen_machine_program
+from repro.fuzz.oracles import Divergence, fuzz_configs
+from repro.fuzz.runner import _config_tag, _diagonal_configs
+from repro.serve.client import JobFailed, ServeClient
+from repro.serve.wire import machine_to_payload
+
+ENGINES = ("fast", "reference")
+
+
+@dataclass
+class ServeReplayReport:
+    """Outcome of one remote-replay session."""
+
+    url: str
+    seeds: int = 0
+    jobs: int = 0
+    artifact_hits: int = 0
+    elapsed_sec: float = 0.0
+    divergences: list[Divergence] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.divergences
+
+    def to_dict(self) -> dict:
+        return {
+            "url": self.url,
+            "seeds": self.seeds,
+            "jobs": self.jobs,
+            "artifact_hits": self.artifact_hits,
+            "elapsed_sec": round(self.elapsed_sec, 3),
+            "clean": self.clean,
+            "divergences": [d.to_dict() for d in self.divergences],
+        }
+
+
+def _outcome(client: ServeClient, payload: dict) -> tuple:
+    """Submit one simulate job; returns a comparable outcome tuple.
+
+    Successful runs compare on (cycles, instructions); failed runs on
+    the structured error type plus message, mirroring the local parity
+    oracle's exception-name comparison.
+    """
+    try:
+        result = client.run("simulate", payload)
+    except JobFailed as exc:
+        error = exc.job.get("error") or {}
+        return ("error", error.get("type"), error.get("message"))
+    return ("ok", result["cycles"], result["instructions"])
+
+
+def run_serve_replay(url: str, budget: int = 10, seed: int = 0,
+                     progress=None) -> ServeReplayReport:
+    """Fuzz *budget* seeded programs through the service at *url*."""
+    started = time.perf_counter()
+    report = ServeReplayReport(url=url)
+    client = ServeClient(url, client_id="fuzz-replay")
+    for index in range(budget):
+        case_seed = seed + index
+        gen = gen_machine_program(case_seed, AsmGenOptions())
+        text = program_to_text(gen.program, header=f"fuzz seed {case_seed}")
+        configs = _diagonal_configs(fuzz_configs(gen.has_connects))
+        report.seeds += 1
+        for config in configs:
+            machine = machine_to_payload(config)
+            outcomes = {}
+            for engine in ENGINES:
+                payload = {"asm": text, "machine": machine,
+                           "engine": engine}
+                outcomes[engine] = _outcome(client, payload)
+                report.jobs += 1
+            fast, ref = outcomes["fast"], outcomes["reference"]
+            if fast != ref:
+                report.divergences.append(Divergence(
+                    oracle="serve-parity",
+                    detail=(f"seed {case_seed} on {_config_tag(config)}: "
+                            f"fast={fast} reference={ref}"),
+                    level="asm", seed=case_seed))
+        if progress is not None:
+            progress(index + 1, budget)
+    stats = client.stats()
+    report.artifact_hits = stats.get("jobs", {}).get("artifact_hits", 0)
+    report.elapsed_sec = time.perf_counter() - started
+    return report

@@ -30,12 +30,14 @@ from repro.observe.events import (
     STALL_RAW,
     ConnectEvent,
     Event,
+    EventForwarder,
     IssueEvent,
     MapResetEvent,
     MemStallEvent,
     Observer,
     RedirectEvent,
     StallEvent,
+    event_to_dict,
 )
 from repro.observe.export import (
     chrome_trace,
@@ -81,6 +83,7 @@ __all__ = [
     "CPIStack",
     "ConnectEvent",
     "Event",
+    "EventForwarder",
     "IssueEvent",
     "MapResetEvent",
     "MemStallEvent",
@@ -96,6 +99,7 @@ __all__ = [
     "chrome_trace",
     "chrome_trace_json",
     "count_zero_cycle_forwards",
+    "event_to_dict",
     "events_jsonl",
     "konata_log",
     "merge_cpi",

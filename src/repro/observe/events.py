@@ -115,6 +115,75 @@ Event = (IssueEvent | StallEvent | MemStallEvent | RedirectEvent
          | ConnectEvent | MapResetEvent)
 
 
+def event_to_dict(ev: Event) -> dict:
+    """A plain-JSON representation of one event.
+
+    The canonical wire form: :func:`repro.observe.export.events_jsonl` emits
+    it line-by-line, and :class:`EventForwarder` ships it across process
+    boundaries (simulations running in serve/sweep worker processes forward
+    progress to the parent through a queue of these dicts).
+    """
+    if isinstance(ev, IssueEvent):
+        return {"type": "issue", "cycle": ev.cycle, "pc": ev.pc,
+                "slot": ev.slot}
+    if isinstance(ev, StallEvent):
+        return {"type": "stall", "cycle": ev.cycle, "duration": ev.duration,
+                "pc": ev.pc, "cause": ev.cause,
+                "reg": f"{ev.rclass.value}:{ev.index}",
+                "origin": ev.origin, "category": ev.category.name}
+    if isinstance(ev, MemStallEvent):
+        return {"type": "mem_stall", "cycle": ev.cycle, "pc": ev.pc}
+    if isinstance(ev, RedirectEvent):
+        return {"type": "redirect", "cycle": ev.cycle, "pc": ev.pc,
+                "cause": ev.cause, "penalty": ev.penalty}
+    if isinstance(ev, ConnectEvent):
+        return {"type": "connect", "cycle": ev.cycle, "pc": ev.pc,
+                "zero_cycle": ev.zero_cycle,
+                "updates": [[rclass.value, which, idx, phys]
+                            for rclass, which, idx, phys in ev.updates]}
+    if isinstance(ev, MapResetEvent):
+        return {"type": "map_reset", "cycle": ev.cycle, "pc": ev.pc,
+                "cause": ev.cause}
+    raise TypeError(f"unknown event {ev!r}")
+
+
+class EventForwarder:
+    """Forwards observer events across a process boundary as plain dicts.
+
+    Subscribe an instance to an :class:`Observer`; every *sample_every*-th
+    issue event (plus every non-issue event, which are rare and
+    information-dense) is converted with :func:`event_to_dict` and handed to
+    *sink* — any callable taking one dict, typically a closure around a
+    ``multiprocessing`` queue's ``put``.  Sampling keeps the queue traffic
+    bounded on long simulations; *limit* hard-caps the total number of
+    forwarded events so an adversarial program cannot flood the parent.
+    """
+
+    __slots__ = ("sink", "sample_every", "limit", "forwarded", "dropped",
+                 "_issue_seen")
+
+    def __init__(self, sink, sample_every: int = 4096,
+                 limit: int = 10_000) -> None:
+        self.sink = sink
+        self.sample_every = max(1, sample_every)
+        self.limit = limit
+        self.forwarded = 0
+        self.dropped = 0
+        self._issue_seen = 0
+
+    def __call__(self, event: Event) -> None:
+        if isinstance(event, IssueEvent):
+            self._issue_seen += 1
+            if self._issue_seen % self.sample_every != 1 \
+                    and self.sample_every > 1:
+                return
+        if self.forwarded >= self.limit:
+            self.dropped += 1
+            return
+        self.forwarded += 1
+        self.sink(event_to_dict(event))
+
+
 class Observer:
     """Collects simulator events and maintains online aggregate counters."""
 

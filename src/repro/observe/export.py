@@ -28,6 +28,7 @@ from repro.observe.events import (
     MemStallEvent,
     RedirectEvent,
     StallEvent,
+    event_to_dict,
 )
 
 #: Synthetic pid for the simulated core in Chrome traces.
@@ -35,29 +36,8 @@ _PID = 1
 
 
 def _event_payload(ev) -> dict:
-    """The JSONL representation of one event."""
-    if isinstance(ev, IssueEvent):
-        return {"type": "issue", "cycle": ev.cycle, "pc": ev.pc,
-                "slot": ev.slot}
-    if isinstance(ev, StallEvent):
-        return {"type": "stall", "cycle": ev.cycle, "duration": ev.duration,
-                "pc": ev.pc, "cause": ev.cause,
-                "reg": f"{ev.rclass.value}:{ev.index}",
-                "origin": ev.origin, "category": ev.category.name}
-    if isinstance(ev, MemStallEvent):
-        return {"type": "mem_stall", "cycle": ev.cycle, "pc": ev.pc}
-    if isinstance(ev, RedirectEvent):
-        return {"type": "redirect", "cycle": ev.cycle, "pc": ev.pc,
-                "cause": ev.cause, "penalty": ev.penalty}
-    if isinstance(ev, ConnectEvent):
-        return {"type": "connect", "cycle": ev.cycle, "pc": ev.pc,
-                "zero_cycle": ev.zero_cycle,
-                "updates": [[rclass.value, which, idx, phys]
-                            for rclass, which, idx, phys in ev.updates]}
-    if isinstance(ev, MapResetEvent):
-        return {"type": "map_reset", "cycle": ev.cycle, "pc": ev.pc,
-                "cause": ev.cause}
-    raise TypeError(f"unknown event {ev!r}")
+    """The JSONL representation of one event (the canonical wire form)."""
+    return event_to_dict(ev)
 
 
 def events_jsonl(run) -> str:

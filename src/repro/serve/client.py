@@ -1,0 +1,144 @@
+"""Blocking HTTP client for the serve subsystem.
+
+Built on :mod:`http.client` (stdlib), one connection per request to
+match the server's ``Connection: close`` framing.  Used by the test
+suite, ``benchmarks/bench_serve.py``, and the ``repro fuzz --serve``
+replay path; it is also the reference for anyone scripting the service
+from outside this repository.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from urllib.parse import urlsplit
+
+from repro.errors import ReproError
+
+
+class ServeError(ReproError):
+    """The server refused a request (4xx/5xx) or broke protocol."""
+
+    def __init__(self, status: int, payload: dict) -> None:
+        self.status = status
+        self.payload = payload
+        super().__init__(f"HTTP {status}: {payload.get('error', '?')}"
+                         f" - {payload.get('message', '')}")
+
+
+class JobFailed(ReproError):
+    """A job completed with a structured error."""
+
+    def __init__(self, job: dict) -> None:
+        self.job = job
+        error = job.get("error") or {}
+        super().__init__(f"job {job.get('id')} failed: "
+                         f"[{error.get('type', '?')}] "
+                         f"{error.get('message', '')}")
+
+    @property
+    def error_type(self) -> str:
+        return (self.job.get("error") or {}).get("type", "?")
+
+
+class ServeClient:
+    """A client bound to one server base URL."""
+
+    def __init__(self, base_url: str, client_id: str = "-",
+                 timeout: float = 300.0) -> None:
+        split = urlsplit(base_url if "//" in base_url
+                         else f"http://{base_url}")
+        self.host = split.hostname or "127.0.0.1"
+        self.port = split.port or 80
+        self.client_id = client_id
+        self.timeout = timeout
+
+    # -- low-level -------------------------------------------------------------
+
+    def _request(self, method: str, path: str, body: dict | None = None):
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            payload = json.dumps(body).encode() if body is not None else None
+            conn.request(method, path, body=payload,
+                         headers={"Content-Type": "application/json",
+                                  "X-Repro-Client": self.client_id})
+            response = conn.getresponse()
+            data = response.read()
+        finally:
+            conn.close()
+        try:
+            doc = json.loads(data.decode() or "{}")
+        except json.JSONDecodeError as exc:
+            raise ServeError(response.status,
+                             {"error": "bad-response",
+                              "message": str(exc)}) from None
+        if response.status >= 400:
+            raise ServeError(response.status, doc)
+        return doc
+
+    # -- API -------------------------------------------------------------------
+
+    def submit(self, kind: str, payload: dict) -> dict:
+        """Submit one job; returns the job document (maybe terminal)."""
+        return self._request("POST", "/v1/jobs",
+                             {"kind": kind, "payload": payload})
+
+    def get(self, job_id: str, wait: float | None = None) -> dict:
+        path = f"/v1/jobs/{job_id}"
+        if wait is not None:
+            path += f"?wait={wait}"
+        return self._request("GET", path)
+
+    def wait(self, job: dict, timeout: float | None = None) -> dict:
+        """Poll (long-poll, really) until *job* is terminal."""
+        timeout = timeout if timeout is not None else self.timeout
+        deadline = time.monotonic() + timeout
+        while job["status"] not in ("done", "error"):
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(f"job {job['id']} still "
+                                   f"{job['status']} after {timeout}s")
+            job = self.get(job["id"], wait=min(remaining, 30.0))
+        return job
+
+    def run(self, kind: str, payload: dict,
+            timeout: float | None = None) -> dict:
+        """Submit + wait; returns the result dict or raises JobFailed."""
+        job = self.wait(self.submit(kind, payload), timeout=timeout)
+        if job["status"] != "done":
+            raise JobFailed(job)
+        return job["result"]
+
+    def events(self, job_id: str):
+        """Yield the job's NDJSON progress events; the last yielded dict
+        has ``type == "job"`` and is the terminal job document."""
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            conn.request("GET", f"/v1/jobs/{job_id}?events=1",
+                         headers={"X-Repro-Client": self.client_id})
+            response = conn.getresponse()
+            if response.status >= 400:
+                raise ServeError(response.status,
+                                 json.loads(response.read().decode()
+                                            or "{}"))
+            for raw in response:
+                line = raw.strip()
+                if line:
+                    yield json.loads(line.decode())
+        finally:
+            conn.close()
+
+    def artifact(self, key: str) -> dict:
+        return self._request("GET", f"/v1/artifacts/{key}")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/v1/stats")
+
+    def healthy(self) -> bool:
+        try:
+            return bool(self._request("GET", "/healthz").get("ok"))
+        except (OSError, ReproError):
+            return False

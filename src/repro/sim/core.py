@@ -30,7 +30,7 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass
 
-from repro.errors import SimulationError
+from repro.errors import CycleBudgetError, SimulationError
 from repro.isa.opcodes import Opcode
 from repro.isa.registers import Imm, PhysReg, RClass
 from repro.isa.semantics import ALU_FUNCS, BRANCH_FUNCS
@@ -347,7 +347,7 @@ class Simulator:
 
         while not halted and (until_cycle is None or cycle < until_cycle):
             if cycle > max_cycles:
-                raise SimulationError(
+                raise CycleBudgetError(
                     f"exceeded {max_cycles} cycles at pc={pc}"
                 )
             # External interrupt delivery at cycle boundaries (masked while a

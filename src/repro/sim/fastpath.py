@@ -45,7 +45,7 @@ import weakref
 #: block function needs bound as keyword defaults.
 _IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
 
-from repro.errors import SimulationError
+from repro.errors import CycleBudgetError, SimulationError
 from repro.isa.inline import BRANCH_EXPR as _BR_EXPR
 from repro.isa.inline import alu_stmts as _alu_stmts
 from repro.isa.registers import RClass
@@ -696,7 +696,7 @@ class _Codegen:
     def generate(self) -> tuple[str, dict[str, object]]:
         w = self.lines.append
         w("def _mxe(pc):")
-        w(f"    raise SE('exceeded {self.maxc} cycles at pc=%d' % pc)")
+        w(f"    raise CBE('exceeded {self.maxc} cycles at pc=%d' % pc)")
         w("")
         blocks = self._blocks()
         for lead, body in blocks:
@@ -839,6 +839,7 @@ class FastSimulator:
         st = [0, 0, 0, 0]
         ns = {
             "SE": SimulationError,
+            "CBE": CycleBudgetError,
             "MAXC": config.max_cycles,
             "IREADY": iready, "FREADY": fready,
             "IREGS": state.int_regs, "FREGS": state.fp_regs,
@@ -867,7 +868,7 @@ class FastSimulator:
         maxc = config.max_cycles
         while True:
             if cycle > maxc:
-                raise SimulationError(
+                raise CycleBudgetError(
                     f"exceeded {maxc} cycles at pc={pc}")
             if pc >= n:
                 raise SimulationError(f"fell off program end at pc={pc}")

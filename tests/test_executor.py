@@ -342,6 +342,67 @@ class TestCpiCollection:
         assert "cpi mix:" not in fig.footer
 
 
+class TestProcessSafeCounters:
+    """The parent runner's cache counters must aggregate worker activity.
+
+    Pool workers run jobs on their own (forked or freshly built) runners;
+    counters bumped there used to be invisible to the parent, which instead
+    guessed one miss per computed record and never saw compile-cache
+    traffic.  Workers now ship a per-job counter delta back.
+    """
+
+    def _jobs(self):
+        return [
+            SweepJob("cmp", unlimited_machine(1), opt_level="scalar"),
+            SweepJob("cmp", _cfg()),
+            SweepJob("cmp", _cfg(int_alu=3)),
+            SweepJob("grep", _cfg()),
+        ]
+
+    def test_parallel_cold_sweep_aggregates_worker_counters(self, tmp_path):
+        runner = ExperimentRunner(scale=1, cache_dir=tmp_path / "c")
+        ex = SweepExecutor(runner=runner, jobs=2)
+        ex.run(self._jobs())
+        # Every record computed exactly once, somewhere — and the parent's
+        # totals say so, including the compile-side traffic that previously
+        # vanished in the workers.
+        assert runner.cache_misses == 4
+        assert runner.cache_hits == 0
+        assert runner.compile_misses == 4
+        assert ex.stats.misses == 4
+
+    def test_parallel_sim_only_variants_report_compile_traffic(self,
+                                                               tmp_path):
+        runner = ExperimentRunner(scale=1, cache_dir=tmp_path / "c")
+        cfg = unlimited_machine(issue_width=4)
+        jobs = [SweepJob("cmp", cfg),
+                SweepJob("cmp", dataclasses.replace(cfg, max_cycles=10**8)),
+                SweepJob("cmp", dataclasses.replace(cfg,
+                                                    extra_decode_stage=True))]
+        SweepExecutor(runner=runner, jobs=2).run(jobs)
+        assert runner.cache_misses == 3
+        # All three jobs share one compile key; how the hits and misses
+        # split depends on which workers the jobs landed on, but the total
+        # compile traffic must be fully accounted for (and each worker that
+        # compiled did so exactly once).
+        assert runner.compile_hits + runner.compile_misses == 3
+        assert 1 <= runner.compile_misses <= 2
+
+    def test_serial_counters_unchanged(self, tmp_path):
+        runner = ExperimentRunner(scale=1, cache_dir=tmp_path / "c")
+        SweepExecutor(runner=runner, jobs=1).run(self._jobs())
+        assert runner.cache_misses == 4
+        assert runner.compile_misses == 4
+
+    def test_counters_snapshot_roundtrip(self, tmp_path):
+        runner = ExperimentRunner(scale=1, cache_dir=tmp_path / "c")
+        before = runner.counters()
+        assert before == {"cache_hits": 0, "cache_misses": 0,
+                          "compile_hits": 0, "compile_misses": 0}
+        runner.absorb_counters({"cache_hits": 2, "compile_misses": 1})
+        assert runner.cache_hits == 2 and runner.compile_misses == 1
+
+
 class TestCompileCache:
     def test_sim_only_variants_reuse_one_compilation(self, runner):
         cfg = unlimited_machine(issue_width=4)
