@@ -27,6 +27,7 @@ Exits non-zero on any engine mismatch.  Speedup numbers are informational
 from __future__ import annotations
 
 import argparse
+import copy
 import json
 import os
 import platform
@@ -38,15 +39,24 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.compiler import compile_module  # noqa: E402
 from repro.isa import Imm, Instr, Opcode, PhysReg, RClass  # noqa: E402
+from repro.rc import RCModel  # noqa: E402
 from repro.sim import (  # noqa: E402
+    BatchedSimulator,
     FastSimulator,
     Simulator,
     assemble,
+    numpy_available,
+    paper_machine,
     unlimited_machine,
 )
-from repro.workloads import ALL_BENCHMARKS, build_workload  # noqa: E402
+from repro.workloads import ALL_BENCHMARKS, build_workload, workload  # noqa: E402
 
 ISSUE_RATES = (1, 2, 4, 8)
+
+#: The batched-sweep matrix per benchmark: every RC reset model × issue
+#: width × extra-decode toggle — 40 configs, one compiled program, the
+#: shape of a figure sweep.
+SWEEP_WIDTHS = (1, 2, 4, 8)
 
 
 def _check_parity(ref, fast, label: str) -> list[str]:
@@ -161,6 +171,100 @@ def bench_micro(repeat: int) -> tuple[dict, list]:
     return bench_point(program, cfg, "microbench", repeat)
 
 
+def _sweep_configs(rc_class):
+    return [paper_machine(issue_width=width, rc_class=rc_class,
+                          rc_model=model, extra_decode_stage=extra)
+            for model in RCModel for width in SWEEP_WIDTHS
+            for extra in (False, True)]
+
+
+def bench_sweep_batched(scale: int, repeat: int) -> tuple[dict, list]:
+    """Sweep throughput: per-config fast runs vs one lockstep gang.
+
+    Per benchmark, one compiled program sweeps the full model × width ×
+    extra-decode matrix (40 configs).  The baseline is the current fast
+    path, one run per config; the gang simulates all 40 in one pass.  Both
+    follower-state backends are timed when available.  Every gang slot is
+    compared field-by-field against its single-config fast run — the
+    parity gate.
+    """
+    backends = ["python"] + (["numpy"] if numpy_available() else [])
+    points, problems = [], []
+    for name in ALL_BENCHMARKS:
+        kind = workload(name).kind
+        rc_class = RClass.INT if kind == "int" else RClass.FP
+        module = build_workload(name, scale=scale)
+        program = compile_module(
+            module, paper_machine(issue_width=1, rc_class=rc_class)).program
+        configs = _sweep_configs(rc_class)
+
+        # Warmup + parity gate: per-slot comparison of one gang against
+        # single fast runs.
+        singles = [FastSimulator(program, cfg).run() for cfg in configs]
+        gang = BatchedSimulator(program, configs).run()
+        for cfg, single, slot in zip(configs, singles, gang):
+            label = (f"{name} w{cfg.issue_width} m{cfg.rc_model.value}"
+                     f" x{int(cfg.extra_decode_stage)}")
+            if slot.error is not None:
+                problems.append(f"{label}: gang slot errored: {slot.error}")
+            else:
+                problems.extend(_check_parity(single, slot.result, label))
+
+        # Timed passes run against a fresh deepcopy of the program so each
+        # pass pays exactly what a cache-miss sweep pays: the fast engine's
+        # codegen cache is keyed on program identity, so reusing the warmed
+        # object would measure steady-state re-simulation of identical
+        # points — a workload the sweep executor never issues.
+        def fast_pass():
+            prog = copy.deepcopy(program)
+            t0 = time.perf_counter()
+            for cfg in configs:
+                FastSimulator(prog, cfg).run()
+            return time.perf_counter() - t0
+
+        fast_s = min(fast_pass() for _ in range(repeat))
+
+        def gang_pass(backend):
+            prog = copy.deepcopy(program)
+            t0 = time.perf_counter()
+            BatchedSimulator(prog, configs, backend=backend).run()
+            return time.perf_counter() - t0
+
+        gang_s = {b: min(gang_pass(b) for _ in range(repeat))
+                  for b in backends}
+        best = min(gang_s, key=gang_s.get)
+        insns = sum(s.stats.instructions for s in singles)
+        points.append({
+            "benchmark": name,
+            "configs": len(configs),
+            "instructions": insns,
+            "fast_seconds": fast_s,
+            **{f"batched_{b}_seconds": s for b, s in gang_s.items()},
+            "backend_winner": best,
+            "speedup": fast_s / gang_s[best],
+        })
+
+    fast_s = sum(p["fast_seconds"] for p in points)
+    totals = {b: sum(p[f"batched_{b}_seconds"] for p in points)
+              for b in backends}
+    best = min(totals, key=totals.get)
+    insns = sum(p["instructions"] for p in points)
+    summary = {
+        "points": points,
+        "configs_per_benchmark": len(_sweep_configs(RClass.INT)),
+        "instructions": insns,
+        "fast_seconds": fast_s,
+        **{f"batched_{b}_seconds": s for b, s in totals.items()},
+        "backends_measured": backends,
+        "backend_winner": best,
+        "fast_points_per_sec": len(points) * 40 / fast_s,
+        "batched_points_per_sec": len(points) * 40 / totals[best],
+        "speedup": fast_s / totals[best],
+        "parity_failures": len(problems),
+    }
+    return summary, problems
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("-o", "--output", default=None,
@@ -170,11 +274,16 @@ def main(argv=None) -> int:
                         help="timed repetitions per engine (best-of)")
     parser.add_argument("--scale", type=int,
                         default=int(os.environ.get("REPRO_SCALE", "1")))
+    parser.add_argument("--min-sweep-speedup", type=float, default=0.0,
+                        help="fail unless the batched sweep speedup reaches "
+                             "this factor (0 = informational)")
     args = parser.parse_args(argv)
 
     fig07, problems = bench_fig07_set(args.scale, args.repeat)
     micro, micro_problems = bench_micro(args.repeat)
     problems.extend(micro_problems)
+    sweep, sweep_problems = bench_sweep_batched(args.scale, args.repeat)
+    problems.extend(sweep_problems)
 
     report = {
         "scale": args.scale,
@@ -184,6 +293,7 @@ def main(argv=None) -> int:
         "parity_failures": problems,
         "fig07_set": fig07,
         "microbench": micro,
+        "sweep_batched": sweep,
     }
     text = json.dumps(report, indent=2)
     if args.output:
@@ -198,12 +308,23 @@ def main(argv=None) -> int:
           f"ref {micro['ref_insns_per_sec']:.0f} insns/s, "
           f"fast {micro['fast_insns_per_sec']:.0f} insns/s "
           f"-> {micro['speedup']:.2f}x")
+    print(f"batched sweep ({len(sweep['points'])} benchmarks x "
+          f"{sweep['configs_per_benchmark']} configs): "
+          f"fast {sweep['fast_points_per_sec']:.1f} points/s, "
+          f"batched {sweep['batched_points_per_sec']:.1f} points/s "
+          f"-> {sweep['speedup']:.2f}x "
+          f"(backend winner: {sweep['backend_winner']}, "
+          f"measured: {', '.join(sweep['backends_measured'])})")
     if problems:
         print(f"PARITY FAILURES ({len(problems)}):", file=sys.stderr)
         for p in problems:
             print(f"  {p}", file=sys.stderr)
         return 1
     print("parity: OK (every point compared on stats, memory, registers)")
+    if args.min_sweep_speedup and sweep["speedup"] < args.min_sweep_speedup:
+        print(f"FAIL: batched sweep speedup {sweep['speedup']:.2f}x below "
+              f"the {args.min_sweep_speedup:.1f}x gate", file=sys.stderr)
+        return 1
     return 0
 
 

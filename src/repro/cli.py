@@ -54,10 +54,10 @@ from repro.workloads import ALL_BENCHMARKS, workload
 
 def _engine_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--engine", default=None,
-                        choices=("fast", "reference"),
+                        choices=("fast", "reference", "batched"),
                         help="execution engine (default: REPRO_ENGINE env "
-                             "var, else the specializing fast engine; both "
-                             "are bit-exact)")
+                             "var, else the specializing fast engine; all "
+                             "are bit-exact; batched gangs sweep points)")
 
 
 def _machine_args(parser: argparse.ArgumentParser) -> None:

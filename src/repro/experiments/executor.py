@@ -25,7 +25,7 @@ from dataclasses import dataclass
 
 from repro.experiments.figures import ALL_FIGURES
 from repro.experiments.report import FigureResult
-from repro.experiments.runner import ExperimentRunner, RunRecord
+from repro.experiments.runner import ExperimentRunner, RunRecord, _compile_key
 from repro.observe import merge_cpi, stall_mix_summary
 from repro.sim import MachineConfig
 from repro.workloads import ALL_BENCHMARKS
@@ -89,14 +89,29 @@ class SweepStats:
     #: summed per-job compute seconds (> elapsed when workers overlap).
     job_seconds: float = 0.0
     workers: int = 1
+    #: compile-dedup groups with more than one point (each compiled once).
+    groups: int = 0
+    #: jobs that rode a shared compilation instead of compiling themselves.
+    grouped_jobs: int = 0
+    #: lockstep gang runs dispatched through the batched engine.
+    gangs: int = 0
+    gang_points: int = 0
+    max_gang: int = 0
 
     def summary(self) -> str:
-        return (
+        text = (
             f"sweep: {self.jobs} jobs, {self.hits} cache hits, "
             f"{self.misses} misses, {self.errors} errors, "
             f"{self.elapsed:.2f}s wall ({self.job_seconds:.2f}s compute, "
             f"{self.workers} workers)"
         )
+        if self.groups:
+            text += (f"; {self.groups} compile groups "
+                     f"({self.grouped_jobs} grouped jobs)")
+        if self.gangs:
+            text += (f"; {self.gangs} gangs ({self.gang_points} points, "
+                     f"gang_size max {self.max_gang})")
+        return text
 
 
 # -- worker side -----------------------------------------------------------------
@@ -129,6 +144,58 @@ def _run_job(scale: int, cache_dir: str, verify: bool, engine: str,
     after = runner.counters()
     delta = {name: after[name] - before[name] for name in after}
     return record, elapsed, delta
+
+
+def _gang_eligible(engine: str, group: list[SweepJob]) -> bool:
+    """Gang a compile group when the batched engine is selected, the group
+    has more than one point, and no point needs a CPI observer (attribution
+    requires the reference engine)."""
+    return (engine == "batched" and len(group) > 1
+            and not any(job.collect_cpi for job in group))
+
+
+def _run_group(scale: int, cache_dir: str, verify: bool, engine: str,
+               group: list[SweepJob]
+               ) -> tuple[list[tuple[RunRecord | None, float, str | None]],
+                          dict, int]:
+    """Run one compile group in a worker: every job shares a `_compile_key`,
+    so the group compiles once (warm compile memo) — and under the batched
+    engine the whole group simulates as one lockstep gang.
+
+    Returns per-job ``(record, elapsed, error)`` in group order, the
+    runner's counter delta, and the gang size used (0 = per-job runs).
+    """
+    key = (scale, cache_dir, verify, engine)
+    runner = _worker_runners.get(key)
+    if runner is None:
+        runner = ExperimentRunner(scale=scale, cache_dir=cache_dir,
+                                  verify_checksums=verify, engine=engine)
+        _worker_runners[key] = runner
+    before = runner.counters()
+    out: list[tuple[RunRecord | None, float, str | None]] = []
+    gang_n = 0
+    if _gang_eligible(engine, group):
+        gang_n = len(group)
+        start = time.perf_counter()
+        outcomes = runner.run_gang(
+            group[0].benchmark, [job.config for job in group],
+            opt_level=group[0].opt_level,
+            unroll_factor=group[0].unroll_factor,
+            num_windows=group[0].num_windows)
+        share = (time.perf_counter() - start) / len(group)
+        out = [(record, share, error) for record, error in outcomes]
+    else:
+        for job in group:
+            start = time.perf_counter()
+            record, error = None, None
+            try:
+                record = runner.run(job.benchmark, job.config, **job.kwargs())
+            except Exception as exc:  # noqa: BLE001 - surfaced per job
+                error = f"{type(exc).__name__}: {exc}"
+            out.append((record, time.perf_counter() - start, error))
+    after = runner.counters()
+    delta = {name: after[name] - before[name] for name in after}
+    return out, delta, gang_n
 
 
 # -- job collection (figure prewarm) ----------------------------------------------
@@ -263,57 +330,101 @@ class SweepExecutor:
         self._notify(done, total, results[i])
         return done
 
-    def _run_serial(self, jobs, pending, results, done, total) -> int:
+    def _group_pending(self, jobs, pending) -> list[list[int]]:
+        """Group pending job indices by compile-affecting key.
+
+        Points sharing a ``(benchmark, _compile_key, opt options)`` tuple
+        compile identically: each group lands on one worker so the compile
+        memo serves the whole group, and under the batched engine the group
+        simulates as one gang.  Bumps the grouping counters.
+        """
+        by_key: dict[tuple, list[int]] = {}
         for i in pending:
             job = jobs[i]
-            start = time.perf_counter()
-            record, error = None, None
-            try:
-                record = self.runner.run(job.benchmark, job.config,
-                                         **job.kwargs())
-            except Exception as exc:  # noqa: BLE001 - surfaced per job
-                error = f"{type(exc).__name__}: {exc}"
-            done = self._finish(i, job, record, time.perf_counter() - start,
-                                error, results, done, total)
+            key = (job.benchmark, _compile_key(job.config), job.opt_level,
+                   job.unroll_factor, job.num_windows)
+            by_key.setdefault(key, []).append(i)
+        groups = list(by_key.values())
+        for group in groups:
+            if len(group) > 1:
+                self.stats.groups += 1
+                self.stats.grouped_jobs += len(group) - 1
+        return groups
+
+    def _count_gang(self, size: int) -> None:
+        if size:
+            self.stats.gangs += 1
+            self.stats.gang_points += size
+            self.stats.max_gang = max(self.stats.max_gang, size)
+
+    def _run_serial(self, jobs, pending, results, done, total) -> int:
+        runner = self.runner
+        for idxs in self._group_pending(jobs, pending):
+            group = [jobs[i] for i in idxs]
+            if _gang_eligible(runner.engine, group):
+                self._count_gang(len(group))
+                start = time.perf_counter()
+                outcomes = runner.run_gang(
+                    group[0].benchmark, [job.config for job in group],
+                    opt_level=group[0].opt_level,
+                    unroll_factor=group[0].unroll_factor,
+                    num_windows=group[0].num_windows)
+                share = (time.perf_counter() - start) / len(group)
+                for i, (record, error) in zip(idxs, outcomes):
+                    done = self._finish(i, jobs[i], record, share, error,
+                                        results, done, total)
+                continue
+            for i in idxs:
+                job = jobs[i]
+                start = time.perf_counter()
+                record, error = None, None
+                try:
+                    record = runner.run(job.benchmark, job.config,
+                                        **job.kwargs())
+                except Exception as exc:  # noqa: BLE001 - surfaced per job
+                    error = f"{type(exc).__name__}: {exc}"
+                done = self._finish(i, job, record,
+                                    time.perf_counter() - start,
+                                    error, results, done, total)
         return done
 
     def _run_pool(self, jobs, pending, results, done, total) -> int:
         runner = self.runner
-        # Identical jobs must compute once: group pending indices by key.
-        by_key: dict[str, list[int]] = {}
-        for i in pending:
-            job = jobs[i]
-            key = runner.cache_key(job.benchmark, job.config, **job.kwargs())
-            by_key.setdefault(key, []).append(i)
-
-        workers = min(self.jobs, len(by_key))
+        groups = self._group_pending(jobs, pending)
+        workers = min(self.jobs, len(groups))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {
-                pool.submit(_run_job, runner.scale, str(runner.cache_dir),
+                pool.submit(_run_group, runner.scale, str(runner.cache_dir),
                             runner.verify_checksums, runner.engine,
-                            jobs[idxs[0]]): (key, idxs)
-                for key, idxs in by_key.items()
+                            [jobs[i] for i in idxs]): idxs
+                for idxs in groups
             }
             outstanding = set(futures)
             while outstanding:
                 finished, outstanding = wait(outstanding,
                                              return_when=FIRST_COMPLETED)
                 for fut in finished:
-                    key, idxs = futures[fut]
-                    record, elapsed, error = None, 0.0, None
+                    idxs = futures[fut]
                     try:
-                        record, elapsed, delta = fut.result()
+                        outcomes, delta, gang_n = fut.result()
                     except Exception as exc:  # noqa: BLE001
                         error = f"{type(exc).__name__}: {exc}"
-                    if record is not None:
-                        # Adopt the worker's record so later parent-side
-                        # lookups hit memory, not disk, and fold the
-                        # worker's counter delta into the parent runner
-                        # (the forked worker's own counters are invisible
-                        # here).
-                        runner._memory[key] = record
+                        outcomes = [(None, 0.0, error) for _ in idxs]
+                        delta, gang_n = None, 0
+                    self._count_gang(gang_n)
+                    if delta is not None:
+                        # Fold the worker's counter delta into the parent
+                        # runner (the forked worker's own counters are
+                        # invisible here).
                         runner.absorb_counters(delta)
-                    for i in idxs:
+                    for i, (record, elapsed, error) in zip(idxs, outcomes):
+                        if record is not None:
+                            # Adopt the worker's record so later
+                            # parent-side lookups hit memory, not disk.
+                            key = runner.cache_key(jobs[i].benchmark,
+                                                   jobs[i].config,
+                                                   **jobs[i].kwargs())
+                            runner._memory[key] = record
                         done = self._finish(i, jobs[i], record, elapsed,
                                             error, results, done, total)
         return done

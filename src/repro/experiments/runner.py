@@ -348,36 +348,48 @@ class ExperimentRunner:
             result = Simulator(out.program, config, observer=observer).run()
         else:
             result = simulate(out.program, config, engine=self.engine)
+        record = self._make_record(benchmark, config, module, out, result,
+                                   observer)
+        self._store(key, record)
+        return record
+
+    def _verify(self, benchmark: str, config: MachineConfig, module, out,
+                result) -> bool:
+        """Checksum-verify one simulation result; raises on mismatch."""
+        addr = module.global_addr("checksum")
+        got = result.load_word(addr)
+        # The compiled program must reproduce the optimized module's
+        # interpretation exactly...
+        want = out.interp.load_word(addr)
+        if got != want:
+            raise SimulationError(
+                f"{benchmark} on {config.describe()}: checksum mismatch "
+                f"({got!r} != {want!r})"
+            )
+        # ...and the optimized module may differ from the original only
+        # by FP-reassociation rounding.
+        original = self.golden_checksum(benchmark)
+        if isinstance(original, float):
+            drift = abs(want - original) / max(abs(original), 1e-30)
+            if drift > 1e-9:
+                raise SimulationError(
+                    f"{benchmark}: optimization drifted the FP checksum "
+                    f"by {drift:.2e}"
+                )
+        elif want != original:
+            raise SimulationError(
+                f"{benchmark}: optimization changed the integer checksum "
+                f"({want!r} != {original!r})"
+            )
+        return True
+
+    def _make_record(self, benchmark: str, config: MachineConfig, module,
+                     out, result, observer=None) -> RunRecord:
         checksum_ok = True
         if self.verify_checksums:
-            addr = module.global_addr("checksum")
-            got = result.load_word(addr)
-            # The compiled program must reproduce the optimized module's
-            # interpretation exactly...
-            want = out.interp.load_word(addr)
-            checksum_ok = got == want
-            if not checksum_ok:
-                raise SimulationError(
-                    f"{benchmark} on {config.describe()}: checksum mismatch "
-                    f"({got!r} != {want!r})"
-                )
-            # ...and the optimized module may differ from the original only
-            # by FP-reassociation rounding.
-            original = self.golden_checksum(benchmark)
-            if isinstance(original, float):
-                drift = abs(want - original) / max(abs(original), 1e-30)
-                if drift > 1e-9:
-                    raise SimulationError(
-                        f"{benchmark}: optimization drifted the FP checksum "
-                        f"by {drift:.2e}"
-                    )
-            elif want != original:
-                raise SimulationError(
-                    f"{benchmark}: optimization changed the integer checksum "
-                    f"({want!r} != {original!r})"
-                )
+            checksum_ok = self._verify(benchmark, config, module, out, result)
         stats = out.stats
-        record = RunRecord(
+        return RunRecord(
             benchmark=benchmark,
             cycles=result.cycles,
             instructions=result.stats.instructions,
@@ -396,8 +408,53 @@ class ExperimentRunner:
             cpi=(CPIStack.from_observer(observer, result.stats).to_dict()
                  if observer is not None else None),
         )
-        self._store(key, record)
-        return record
+
+    def run_gang(self, benchmark: str, configs: list[MachineConfig],
+                 opt_level: str = "ilp", unroll_factor: int = 4,
+                 num_windows: int = 4,
+                 ) -> list[tuple[RunRecord | None, str | None]]:
+        """Compile once and simulate *configs* as one lockstep gang.
+
+        Every config must share the benchmark's :func:`_compile_key` (the
+        sweep executor groups points that way), so one compilation serves
+        the whole gang and :func:`repro.sim.simulate_gang` steps all points
+        in a single pass.  Returns ``(record, error)`` per slot in input
+        order: a slot that faults or exhausts its budget carries the error
+        string (matching what :meth:`run` would have raised) without
+        disturbing the other slots.  Successful slots land in the cache
+        exactly as :meth:`run` would store them.
+        """
+        from repro.sim import simulate_gang
+
+        keys = {_compile_key(c) for c in configs}
+        if len(keys) > 1:
+            raise ValueError(f"gang configs span {len(keys)} compile keys")
+        outcomes: list[tuple[RunRecord | None, str | None]] = []
+        try:
+            module, out = self._compiled_program(
+                benchmark, configs[0], opt_level, unroll_factor, num_windows)
+            gang = simulate_gang(out.program, configs)
+        except Exception as exc:  # noqa: BLE001 - surfaced per slot
+            err = f"{type(exc).__name__}: {exc}"
+            return [(None, err) for _ in configs]
+        for config, slot in zip(configs, gang):
+            self.cache_misses += 1
+            if slot.error is not None:
+                exc = slot.error
+                outcomes.append((None, f"{type(exc).__name__}: {exc}"))
+                continue
+            try:
+                record = self._make_record(benchmark, config, module, out,
+                                           slot.result)
+            except Exception as exc:  # noqa: BLE001 - surfaced per slot
+                outcomes.append((None, f"{type(exc).__name__}: {exc}"))
+                continue
+            key = self.cache_key(benchmark, config, opt_level=opt_level,
+                                 unroll_factor=unroll_factor,
+                                 num_windows=num_windows)
+            self._store(key, record)
+            outcomes.append((record, None))
+        return outcomes
 
     # -- paper-style derived quantities ------------------------------------------
 

@@ -102,6 +102,66 @@ def _outcome(run):
         return (type(exc).__name__, str(exc)), None
 
 
+#: The batched-parity gang sweeps reset models {1, 2, 4} — the two the
+#: other oracles skip plus no-reset — so between the two matrices all five
+#: models are fuzzed.
+GANG_MODELS = (RCModel.NO_RESET, RCModel.WRITE_RESET,
+               RCModel.READ_WRITE_RESET)
+
+
+def gang_configs() -> list[MachineConfig]:
+    """The gang-of-9 batched-parity matrix: models {1,2,4} x widths {1,2,4}."""
+    return [_bounded(paper_machine(issue_width=width, int_core=16, fp_core=16,
+                                   rc_class=RClass.INT, rc_model=model))
+            for model in GANG_MODELS for width in FUZZ_WIDTHS]
+
+
+def batched_parity(program) -> str | None:
+    """One gang-of-9 lockstep run vs nine single fast runs vs reference.
+
+    Every slot of the gang must match its config's single-config fast run
+    *and* the reference engine bit-exactly: full :class:`SimStats`, memory,
+    both register files, halting state — and when the point faults, the
+    exact exception type and message.  A slot that retires early (fault,
+    budget) must leave every other slot untouched, which this oracle checks
+    implicitly by comparing all nine slots of the same gang.
+    """
+    from repro.sim import simulate_gang
+
+    configs = gang_configs()
+    gang_exc, gang = _outcome(lambda: simulate_gang(program, configs))
+    if gang_exc is not None:
+        return f"gang run raised {gang_exc!r}"
+    for i, (config, slot) in enumerate(zip(configs, gang)):
+        tag = f"slot{i} w{config.issue_width}-m{config.rc_model.value}"
+        ref_exc, ref = _outcome(lambda c=config: Simulator(program, c).run())
+        fast_exc, fast = _outcome(
+            lambda c=config: FastSimulator(program, c).run())
+        slot_exc = ((type(slot.error).__name__, str(slot.error))
+                    if slot.error is not None else None)
+        if slot_exc != ref_exc:
+            return (f"{tag}: batched fault {slot_exc!r} vs reference "
+                    f"{ref_exc!r}")
+        if fast_exc != ref_exc:
+            return (f"{tag}: fast fault {fast_exc!r} vs reference "
+                    f"{ref_exc!r}")
+        if slot.error is not None:
+            continue
+        for name, other in (("reference", ref), ("fast", fast)):
+            for what, a, b in (
+                ("stats", slot.result.stats, other.stats),
+                ("halted", slot.result.halted, other.halted),
+                ("memory", slot.result.state.memory, other.state.memory),
+                ("int_regs", slot.result.state.int_regs,
+                 other.state.int_regs),
+                ("fp_regs", slot.result.state.fp_regs, other.state.fp_regs),
+            ):
+                if a != b:
+                    return (f"{tag}: {what} diverge: batched {a!r} vs "
+                            f"{name} {b!r}")
+    return None
+
+
 def sim_parity(program, config) -> tuple[str | None, bool]:
     """Fast-vs-reference simulator parity on one (program, config) point.
 

@@ -45,6 +45,7 @@ from repro.fuzz.oracles import (
     FUZZ_MODELS,
     FUZZ_WIDTHS,
     Divergence,
+    batched_parity,
     checker_soundness,
     compile_determinism,
     fuzz_configs,
@@ -173,6 +174,18 @@ class _Session:
         self._check_asm_parity(program, _perturbed_config(), seed,
                                tag="load-latency=4")
         self._check_resume(program, diagonal[seed % len(diagonal)], seed)
+        self._check_batched(program, seed)
+
+    def _check_batched(self, program, seed) -> None:
+        self.report.bump("gang_runs")
+        problem = batched_parity(program)
+        if problem is None:
+            return
+        predicate = lambda p: batched_parity(p) is not None  # noqa: E731
+        self._record(Divergence(
+            oracle="batched-parity", detail=problem, level="asm", seed=seed,
+            config="gang-of-9",
+            reproducer=self._shrunk_asm(program, predicate)))
 
     def _check_resume(self, program, config, seed) -> None:
         self.report.bump("resume_runs")
@@ -382,6 +395,13 @@ class _Session:
                     oracle="resume-parity", detail=problem, level="asm",
                     case_name=case.name, config=_config_tag(config),
                     reproducer=case.text))
+        self.report.bump("gang_runs")
+        problem = batched_parity(program)
+        if problem is not None:
+            self._record(Divergence(
+                oracle="batched-parity", detail=problem, level="asm",
+                case_name=case.name, config="gang-of-9",
+                reproducer=case.text))
 
     def _replay_ir(self, case) -> None:
         try:

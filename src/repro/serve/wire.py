@@ -192,8 +192,9 @@ def validate_payload(kind: str, payload: dict) -> dict:
         if out["benchmark"] not in ALL_BENCHMARKS:
             raise BadRequest(f"unknown benchmark {out['benchmark']!r}")
     engine = out.get("engine")
-    if engine not in (None, "fast", "reference"):
-        raise BadRequest(f"bad engine {engine!r}; expected fast|reference")
+    if engine not in (None, "fast", "reference", "batched"):
+        raise BadRequest(f"bad engine {engine!r}; "
+                         f"expected fast|reference|batched")
     scale = out.get("scale", 1)
     if not isinstance(scale, int) or not 1 <= scale <= 64:
         raise BadRequest(f"scale {scale!r} out of range [1, 64]")

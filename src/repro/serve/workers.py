@@ -191,32 +191,27 @@ def _job_simulate(job_id: str, payload: dict) -> dict:
 
 
 def _job_sweep(job_id: str, payload: dict) -> dict:
-    from repro.experiments import ALL_FIGURES
+    from repro.experiments import ALL_FIGURES, SweepExecutor
 
     runner = _runner(payload["scale"], payload.get("engine"))
     benchmarks = tuple(payload["benchmarks"])
     fig_fn = ALL_FIGURES[payload["figure"]]
-    # Forward one progress event per experiment by shimming the runner's
-    # run method for the duration of the figure.
-    done = 0
-    orig_run = runner.run
 
-    def run_and_report(benchmark, config, **kwargs):
-        nonlocal done
-        record = orig_run(benchmark, config, **kwargs)
-        done += 1
+    # Prewarm the figure's experiments through the sweep executor (serial
+    # inside this worker process; under engine=batched each compile group
+    # simulates as one lockstep gang), emitting one progress event per
+    # experiment — gang slots included, each reports as it lands.
+    def report(done: int, total: int, result) -> None:
         _put({"job": job_id, "stream": "sweep", "type": "progress",
-              "benchmark": benchmark, "done": done})
-        return record
+              "benchmark": result.job.benchmark, "done": done,
+              "total": total})
 
-    runner.run = run_and_report
-    try:
-        fig = fig_fn(runner, benchmarks=benchmarks)
-    finally:
-        runner.run = orig_run
+    executor = SweepExecutor(runner=runner, jobs=1, progress=report)
+    fig = executor.run_figure(fig_fn, benchmarks=benchmarks)
     return {"figure": fig.fid, "title": fig.title,
             "rows": fig.to_rows(), "notes": list(fig.notes),
-            "experiments": done}
+            "experiments": executor.stats.jobs,
+            "sweep": executor.stats.summary()}
 
 
 def _job_trace(job_id: str, payload: dict) -> dict:

@@ -9,6 +9,14 @@ from repro.sim.config import (
     resolve_engine,
     unlimited_machine,
 )
+from repro.sim.batched import (
+    BACKEND_ENV,
+    BatchedSimulator,
+    GangOutcome,
+    numpy_available,
+    resolve_backend,
+    simulate_gang,
+)
 from repro.sim.core import SimResult, Simulator, simulate
 from repro.sim.fastpath import FastSimulator
 from repro.sim.machine import MachineState
@@ -18,9 +26,12 @@ from repro.sim.stats import SimStats
 from repro.sim.tracing import PipelineTrace, capture_trace
 
 __all__ = [
+    "BACKEND_ENV",
     "ENGINE_ENV",
     "VALID_ENGINES",
+    "BatchedSimulator",
     "FastSimulator",
+    "GangOutcome",
     "MachineConfig",
     "MachineProgram",
     "MachineState",
@@ -34,8 +45,11 @@ __all__ = [
     "assemble",
     "capture_trace",
     "default_memory_channels",
+    "numpy_available",
     "paper_machine",
+    "resolve_backend",
     "resolve_engine",
     "simulate",
+    "simulate_gang",
     "unlimited_machine",
 ]

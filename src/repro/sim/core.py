@@ -112,13 +112,20 @@ class Simulator:
     """Simulates one :class:`MachineProgram` on one machine configuration."""
 
     def __init__(self, program: MachineProgram, config: MachineConfig,
-                 trace_hook=None, observer=None) -> None:
+                 trace_hook=None, observer=None, *, decoded=None) -> None:
         self.program = program
         self.config = config
         self.state = MachineState(config, program.initial_memory)
         self.state.int_regs[0] = program.initial_sp  # r0 = SP
-        self._decoded = [self._decode(i, instr)
-                         for i, instr in enumerate(program.instrs)]
+        # Decode depends only on (program, latency table, register specs) —
+        # never on width, RC model, or pipeline knobs — so a caller sweeping
+        # those axes may pass a prior simulator's decode list instead of
+        # re-decoding (entries are write-once; see _decode).
+        if decoded is not None:
+            self._decoded = decoded
+        else:
+            self._decoded = [self._decode(i, instr)
+                             for i, instr in enumerate(program.instrs)]
         #: externally scheduled interrupts: sorted (cycle, vector) pairs.
         self._interrupts: list[tuple[int, int]] = []
         #: optional per-issue callback ``hook(cycle, pc)`` for debugging and
@@ -625,14 +632,23 @@ def simulate(program: MachineProgram, config: MachineConfig,
     """Convenience wrapper: build a simulator and run it.
 
     ``engine`` selects the execution engine: ``"fast"`` (the specializing
-    engine in :mod:`repro.sim.fastpath`, bit-exact with the reference) or
-    ``"reference"``.  ``None`` defers to the ``REPRO_ENGINE`` environment
-    variable and defaults to the fast engine.
+    engine in :mod:`repro.sim.fastpath`, bit-exact with the reference),
+    ``"batched"`` (the gang simulator in :mod:`repro.sim.batched`, run as a
+    gang of one), or ``"reference"``.  ``None`` defers to the
+    ``REPRO_ENGINE`` environment variable and defaults to the fast engine.
     """
     from repro.sim.config import resolve_engine
 
-    if resolve_engine(engine) == "fast":
+    resolved = resolve_engine(engine)
+    if resolved == "fast":
         from repro.sim.fastpath import FastSimulator
 
         return FastSimulator(program, config).run()
+    if resolved == "batched":
+        from repro.sim.batched import simulate_gang
+
+        outcome = simulate_gang(program, [config])[0]
+        if outcome.error is not None:
+            raise outcome.error
+        return outcome.result
     return Simulator(program, config).run()

@@ -38,6 +38,7 @@ program shape the code generator does not support.
 
 from __future__ import annotations
 
+import dataclasses
 import re
 import weakref
 
@@ -75,7 +76,7 @@ from repro.sim.core import (
 )
 from repro.sim.stats import SimStats
 
-__all__ = ["FastSimulator"]
+__all__ = ["FastSimulator", "program_blocks", "program_leaders"]
 
 _CONTROL = frozenset({K_CBR, K_JMP, K_CALL, K_RET, K_HALT, K_TRAP, K_RTE})
 _BUNDLE_KINDS = frozenset({K_ALU, K_LI, K_LOAD, K_STORE, K_NOP, K_CBR})
@@ -96,6 +97,43 @@ class _Unsupported(Exception):
     """Program shape the generator does not handle; engine falls back."""
 
 
+# -- program structure (shared with repro.sim.batched) -------------------------
+
+def program_leaders(program, decoded) -> list[int]:
+    """Basic-block leader indices: entry, control targets, fall-throughs of
+    control instructions, and trap handlers."""
+    n = len(decoded)
+    leaders = {program.entry}
+    for i, d in enumerate(decoded):
+        if d.kind in _CONTROL:
+            if d.target is not None:
+                leaders.add(d.target)
+            if i + 1 < n:
+                leaders.add(i + 1)
+    leaders.update(program.trap_handlers.values())
+    return sorted(x for x in leaders if 0 <= x < n)
+
+
+def program_blocks(program, decoded) -> list[tuple[int, list[int]]]:
+    """``(leader, body)`` pairs partitioning the program into basic blocks."""
+    n = len(decoded)
+    leaders = program_leaders(program, decoded)
+    leader_set = set(leaders)
+    out = []
+    for lead in leaders:
+        body = []
+        k = lead
+        while True:
+            body.append(k)
+            if decoded[k].kind in _CONTROL:
+                break
+            if k + 1 >= n or (k + 1) in leader_set:
+                break
+            k += 1
+        out.append((lead, body))
+    return out
+
+
 class _Codegen:
     """Generates one Python module of per-block step functions for a
     (program, config) pair.
@@ -109,7 +147,7 @@ class _Codegen:
     the reference engine's inner loop.
     """
 
-    def __init__(self, program, config, decoded) -> None:
+    def __init__(self, program, config, decoded, generic_maps=False) -> None:
         self.program = program
         self.config = config
         self.dec = decoded
@@ -120,6 +158,13 @@ class _Codegen:
         self.maxc = config.max_cycles
         self.model = config.rc_model
         self.read_reset = config.rc_model.resets_read_map_on_read
+        #: Generic-maps mode emits the RC-model map maintenance gated by
+        #: const flags (MWR/MRU/MRR/MRDR) instead of inlining one model's
+        #: lines, so one compiled module serves every model — the batched
+        #: engine's class leaders differ only by model and share it.  The
+        #: flags bind as keyword defaults like every other const, so the
+        #: cost is a LOAD_FAST and branch per mapped writeback.
+        self.generic = generic_maps
         self.ient = config.int_spec.core if config.int_spec.has_rc else 0
         self.fent = config.fp_spec.core if config.fp_spec.has_rc else 0
         self.lmax = max(max((d.latency for d in decoded), default=0),
@@ -130,35 +175,8 @@ class _Codegen:
 
     # -- program structure -----------------------------------------------------
 
-    def _leaders(self) -> list[int]:
-        n = len(self.dec)
-        leaders = {self.program.entry}
-        for i, d in enumerate(self.dec):
-            if d.kind in _CONTROL:
-                if d.target is not None:
-                    leaders.add(d.target)
-                if i + 1 < n:
-                    leaders.add(i + 1)
-        leaders.update(self.program.trap_handlers.values())
-        return sorted(x for x in leaders if 0 <= x < n)
-
     def _blocks(self) -> list[tuple[int, list[int]]]:
-        n = len(self.dec)
-        leaders = self._leaders()
-        leader_set = set(leaders)
-        out = []
-        for lead in leaders:
-            body = []
-            k = lead
-            while True:
-                body.append(k)
-                if self.dec[k].kind in _CONTROL:
-                    break
-                if k + 1 >= n or (k + 1) in leader_set:
-                    break
-                k += 1
-            out.append((lead, body))
-        return out
+        return program_blocks(self.program, self.dec)
 
     # -- helpers ---------------------------------------------------------------
 
@@ -296,9 +314,19 @@ class _Codegen:
         ready = "IREADY" if dest_is_int else "FREADY"
         w(ind + f"{regs}[{dest_expr}] = v")
         w(ind + f"{ready}[{dest_expr}] = cycle + {d.latency}")
-        if self._mapped(dest_is_int) and self.model is not RCModel.NO_RESET:
-            rm = "IRM" if dest_is_int else "FRM"
-            wm = "IWM" if dest_is_int else "FWM"
+        if not self._mapped(dest_is_int):
+            return
+        rm = "IRM" if dest_is_int else "FRM"
+        wm = "IWM" if dest_is_int else "FWM"
+        if self.generic:
+            self._const("MWR", self.model is not RCModel.NO_RESET)
+            self._const("MRU", self.model is RCModel.WRITE_RESET_READ_UPDATE)
+            self._const("MRR", self.model is RCModel.READ_WRITE_RESET)
+            w(ind + "if map_en and MWR:")
+            w(ind + f"    if MRU: {rm}[{nm}] = {wm}[{nm}]")
+            w(ind + f"    elif MRR: {rm}[{nm}] = {nm}")
+            w(ind + f"    {wm}[{nm}] = {nm}")
+        elif self.model is not RCModel.NO_RESET:
             if self.model in (RCModel.WRITE_RESET, RCModel.READ_RESET):
                 body = [f"{wm}[{nm}] = {nm}"]
             elif self.model is RCModel.WRITE_RESET_READ_UPDATE:
@@ -311,7 +339,7 @@ class _Codegen:
 
     def _emit_read_resets(self, w, ind, d) -> None:
         """Model 5 (READ_RESET): reads are one-shot connections."""
-        if not self.read_reset:
+        if not (self.read_reset or self.generic):
             return
         resets = []
         for mode, payload in d.srcs:
@@ -320,7 +348,11 @@ class _Codegen:
             elif mode == _SRC_FP and self.fent:
                 resets.append(f"FRM[{payload}] = {payload}")
         if resets:
-            w(ind + "if map_en:")
+            if self.generic:
+                self._const("MRDR", self.read_reset)
+                w(ind + "if map_en and MRDR:")
+            else:
+                w(ind + "if map_en:")
             for line in resets:
                 w(ind + "    " + line)
 
@@ -746,6 +778,58 @@ def _generate(program, config, decoded):
     return code, consts
 
 
+def _model_flags(model) -> dict[str, bool]:
+    """Const flags selecting one RC model inside a generic-maps module."""
+    return {
+        "MWR": model is not RCModel.NO_RESET,
+        "MRU": model is RCModel.WRITE_RESET_READ_UPDATE,
+        "MRR": model is RCModel.READ_WRITE_RESET,
+        "MRDR": model.resets_read_map_on_read,
+    }
+
+
+def _compiled_generic(program, config, decoded):
+    """Like :func:`_compiled`, but the module is generated in generic-maps
+    mode and cached under the config *minus its RC model*: one ``compile()``
+    serves every model, with the model selected per caller by patching the
+    MWR/MRU/MRR/MRDR consts.  Used by the batched engine, whose gang
+    leaders differ only by model."""
+    key = id(program)
+    entry = _code_cache.get(key)
+    if entry is None or entry[0]() is not program:
+        try:
+            ref = weakref.ref(
+                program, lambda _r, _k=key: _code_cache.pop(_k, None))
+        except TypeError:  # pragma: no cover - programs are weakref-able
+            entry = None
+        else:
+            entry = (ref, {})
+            _code_cache[key] = entry
+    base = dataclasses.replace(config, rc_model=RCModel.NO_RESET)
+    if entry is None:  # pragma: no cover - unreachable for real programs
+        cached = _generate_generic(program, base, decoded)
+    else:
+        per_config = entry[1]
+        ckey = "generic:" + repr(base)
+        if ckey not in per_config:
+            per_config[ckey] = _generate_generic(program, base, decoded)
+        cached = per_config[ckey]
+    if cached is None:
+        return None
+    code, consts = cached
+    return code, {**consts, **_model_flags(config.rc_model)}
+
+
+def _generate_generic(program, base_config, decoded):
+    try:
+        source, consts = _Codegen(program, base_config, decoded,
+                                  generic_maps=True).generate()
+    except _Unsupported:
+        return None
+    code = compile(source, f"<fastpath-generic:{program.name}>", "exec")
+    return code, consts
+
+
 class FastSimulator:
     """Drop-in replacement for :class:`Simulator` built on generated code.
 
@@ -758,13 +842,15 @@ class FastSimulator:
     """
 
     def __init__(self, program, config, trace_hook=None,
-                 observer=None) -> None:
+                 observer=None, *, decoded=None,
+                 generic_maps=False) -> None:
         self._ref = Simulator(program, config, trace_hook=trace_hook,
-                              observer=observer)
+                              observer=observer, decoded=decoded)
         self.program = program
         self.config = config
         self.ran_fastpath = False
-        self._compiled_entry = _compiled(program, config, self._ref._decoded)
+        lookup = _compiled_generic if generic_maps else _compiled
+        self._compiled_entry = lookup(program, config, self._ref._decoded)
 
     # -- reference-state delegation -------------------------------------------
 
@@ -818,7 +904,7 @@ class FastSimulator:
             ref._failed = True
             raise
 
-    def _run_fast(self) -> SimResult:
+    def _run_fast(self, trace=None) -> SimResult:
         ref = self._ref
         state = ref.state
         config = self.config
@@ -866,16 +952,39 @@ class FastSimulator:
         store_seen = False
         map_en = state.psw.map_enable
         maxc = config.max_cycles
-        while True:
-            if cycle > maxc:
-                raise CycleBudgetError(
-                    f"exceeded {maxc} cycles at pc={pc}")
-            if pc >= n:
-                raise SimulationError(f"fell off program end at pc={pc}")
-            (pc, cycle, issued, mem_used, store_seen, map_en,
-             halted) = funcs[pc](cycle, issued, mem_used, store_seen, map_en)
-            if halted:
-                break
+        if trace is None:
+            while True:
+                if cycle > maxc:
+                    raise CycleBudgetError(
+                        f"exceeded {maxc} cycles at pc={pc}")
+                if pc >= n:
+                    raise SimulationError(f"fell off program end at pc={pc}")
+                (pc, cycle, issued, mem_used, store_seen, map_en,
+                 halted) = funcs[pc](cycle, issued, mem_used, store_seen,
+                                     map_en)
+                if halted:
+                    break
+        else:
+            # Gang-leader mode (repro.sim.batched): record one (block leader,
+            # iteration count) entry per driver dispatch.  Self-loop blocks
+            # iterate internally, so the count is recovered from the leader
+            # instruction's issue-count delta across the call.
+            tp, tn = trace
+            while True:
+                if cycle > maxc:
+                    raise CycleBudgetError(
+                        f"exceeded {maxc} cycles at pc={pc}")
+                if pc >= n:
+                    raise SimulationError(f"fell off program end at pc={pc}")
+                opc = pc
+                before = counts[opc]
+                (pc, cycle, issued, mem_used, store_seen, map_en,
+                 halted) = funcs[opc](cycle, issued, mem_used, store_seen,
+                                      map_en)
+                tp.append(opc)
+                tn.append(counts[opc] - before)
+                if halted:
+                    break
 
         dec = ref._decoded
         stats = SimStats()
