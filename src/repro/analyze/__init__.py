@@ -1,46 +1,84 @@
 """Static analysis of compiled machine programs (``repro check``).
 
-The subsystem has three layers:
+The subsystem has five layers:
 
 * :mod:`repro.analyze.cfg` — machine-level control-flow recovery: basic
   blocks, successor/predecessor edges, and function partitioning from
   branch/jump/call targets (plus ``func_ranges`` when the compiler provides
   them).
-* :mod:`repro.analyze.dataflow` — a small forward abstract-interpretation
-  framework: client analyses define an entry state, a join, and a transfer
-  function; the solver iterates a worklist to fixpoint.
+* :mod:`repro.analyze.dataflow` — a small two-direction
+  abstract-interpretation framework: client analyses define boundary
+  states, a join, and a transfer function; the solvers iterate a worklist
+  to fixpoint forward (:func:`solve_forward`) or backward
+  (:func:`solve_backward`).
+* :mod:`repro.analyze.callgraph` / :mod:`repro.analyze.liveness` — the
+  interprocedural layer: call-graph recovery with per-function
+  extended-register summaries, and backward liveness over mapping-table
+  slots and extended registers.
 * :mod:`repro.analyze.checks` — the analyses built on top: RC map-state
   abstract interpretation (per reset model), machine-level use-before-def,
   a calling-convention audit, and a latency/hazard lint.  Each finding
   carries a stable rule id (see :mod:`repro.analyze.findings` and
   docs/CHECKS.md).
+* :mod:`repro.analyze.optimize` — the connect optimizer: consumes the same
+  analyses to delete dead connects, eliminate redundant ones, and hoist
+  loop-invariant connects to preheaders (``CompileOptions.opt_connects``).
 
-Entry point: :func:`check_program` returns an :class:`AnalysisReport`.
+Entry points: :func:`check_program` returns an :class:`AnalysisReport`;
+:func:`optimize_connects` returns an optimized program plus a
+:class:`ConnectOptReport`.
 """
 
 from repro.analyze.annotate import annotate_listing
+from repro.analyze.callgraph import CallGraph, FuncSummary, build_callgraph
 from repro.analyze.cfg import FuncCFG, MachineBlock, ProgramCFG, build_cfg
 from repro.analyze.checks import check_program
-from repro.analyze.dataflow import DataflowResult, ForwardAnalysis, solve_forward
+from repro.analyze.dataflow import (
+    BackwardAnalysis,
+    BackwardResult,
+    DataflowResult,
+    ForwardAnalysis,
+    solve_backward,
+    solve_forward,
+)
 from repro.analyze.findings import (
     RULES,
     AnalysisReport,
+    Baseline,
     Finding,
     Severity,
+)
+from repro.analyze.liveness import SlotLiveness, after_states
+from repro.analyze.optimize import (
+    ConnectOptReport,
+    OptimizeResult,
+    optimize_connects,
 )
 
 __all__ = [
     "AnalysisReport",
+    "BackwardAnalysis",
+    "BackwardResult",
+    "Baseline",
+    "CallGraph",
+    "ConnectOptReport",
     "DataflowResult",
     "Finding",
     "ForwardAnalysis",
     "FuncCFG",
+    "FuncSummary",
     "MachineBlock",
+    "OptimizeResult",
     "ProgramCFG",
     "RULES",
     "Severity",
+    "SlotLiveness",
+    "after_states",
     "annotate_listing",
+    "build_callgraph",
     "build_cfg",
     "check_program",
+    "optimize_connects",
+    "solve_backward",
     "solve_forward",
 ]

@@ -1,0 +1,190 @@
+"""Machine-level call graph and per-function map-state summaries.
+
+The hardware resets every mapping-table entry to its home location on
+``jsr``/``rts`` (paper section 4.1), so connect state never survives a
+``CALL`` boundary — what *does* cross the boundary is the extended register
+file.  This module recovers the call graph from resolved ``CALL`` targets
+and computes, per function, the transitive may-read / may-write footprint
+over extended registers:
+
+* ``ext_may_write`` — extended physical registers the function (or anything
+  it can call) may write: direct extended destinations plus every
+  write-map connect target at or above the core size;
+* ``ext_may_read`` — extended physical registers it may read: direct
+  extended sources plus every read-map connect target at or above the core
+  size.
+
+The checker uses these to track connect/extended state across calls per
+reset model instead of conservatively clearing it: a ``CALL`` only clobbers
+the callee's transitive ``ext_may_write`` set (rule CC003), and backward
+extended-register liveness treats a ``CALL`` as reading the callee's
+transitive ``ext_may_read`` set (rule RC006).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analyze.cfg import ProgramCFG
+from repro.analyze.dataflow import reg_bit
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import Imm, RClass
+from repro.sim.config import MachineConfig
+
+_CLASSES = (RClass.INT, RClass.FP)
+
+
+@dataclass
+class FuncSummary:
+    """Interprocedural facts about one recovered function.
+
+    The mapping tables are home at entry and home again at return (the
+    hardware ``jsr``/``rts`` reset), so the summary only carries the
+    extended-register footprint; masks use the
+    :func:`repro.analyze.dataflow.reg_bit` encoding.
+    """
+
+    name: str
+    #: Extended registers this function alone may write / read.
+    local_ext_write: int = 0
+    local_ext_read: int = 0
+    #: Transitive closure over everything reachable through calls.
+    ext_may_write: int = 0
+    ext_may_read: int = 0
+    #: Callee function names at CALL sites (unresolvable targets excluded).
+    calls: set = field(default_factory=set)
+    #: True when some CALL target could not be mapped to a function; the
+    #: closure then falls back to the conservative full-clobber answer.
+    unknown_calls: bool = False
+
+
+@dataclass
+class CallGraph:
+    """Call edges plus per-function extended-register summaries."""
+
+    summaries: dict[str, FuncSummary]
+    #: CALL instruction index -> callee function name (resolved sites only).
+    site_callee: dict[int, str]
+    #: Mask of every extended register in the machine (the "clobber all"
+    #: answer used when a call target cannot be resolved).
+    all_ext_mask: int
+
+    def callee_of(self, index: int) -> str | None:
+        return self.site_callee.get(index)
+
+    def may_write_at(self, index: int) -> int:
+        """Transitive extended-write mask of the CALL at *index*.
+
+        Unresolvable targets (and callees with unresolvable calls) return
+        the full extended mask.
+        """
+        name = self.site_callee.get(index)
+        if name is None:
+            return self.all_ext_mask
+        summary = self.summaries.get(name)
+        if summary is None or summary.unknown_calls:
+            return self.all_ext_mask
+        return summary.ext_may_write
+
+    def may_read_at(self, index: int) -> int:
+        """Transitive extended-read mask of the CALL at *index*."""
+        name = self.site_callee.get(index)
+        if name is None:
+            return self.all_ext_mask
+        summary = self.summaries.get(name)
+        if summary is None or summary.unknown_calls:
+            return self.all_ext_mask
+        return summary.ext_may_read
+
+
+def _ext_masks(config: MachineConfig) -> tuple[dict[RClass, int], int]:
+    """Per-class core sizes and the all-extended-registers mask."""
+    cores: dict[RClass, int] = {}
+    all_ext = 0
+    for cls in _CLASSES:
+        spec = config.spec_for(cls)
+        cores[cls] = spec.core
+        if spec.has_rc:
+            for p in range(spec.core, spec.total):
+                all_ext |= 1 << reg_bit(cls, p)
+    return cores, all_ext
+
+
+def build_callgraph(cfg: ProgramCFG, config: MachineConfig) -> CallGraph:
+    """Recover the call graph of *cfg* and close the summaries to fixpoint."""
+    program = cfg.program
+    cores, all_ext = _ext_masks(config)
+    entry_fn = {fn.entry: fn.name for fn in cfg.functions}
+    fn_of_block: dict[int, str] = {}
+    summaries = {fn.name: FuncSummary(name=fn.name) for fn in cfg.functions}
+    for fn in cfg.functions:
+        for start in fn.blocks:
+            fn_of_block[start] = fn.name
+
+    site_callee: dict[int, str] = {}
+    for fn in cfg.functions:
+        summary = summaries[fn.name]
+        for block in fn.blocks.values():
+            for i in range(block.start, block.end):
+                instr = program.instrs[i]
+                if instr.op is Opcode.CALL:
+                    target = program.targets[i]
+                    callee = entry_fn.get(target)
+                    if callee is None:
+                        summary.unknown_calls = True
+                    else:
+                        summary.calls.add(callee)
+                        site_callee[i] = callee
+                    continue
+                if instr.is_connect:
+                    cls = instr.imm[0]
+                    core = cores[cls]
+                    for _cls, which, _ri, rp in instr.connect_updates():
+                        if rp < core:
+                            continue
+                        bit = 1 << reg_bit(cls, rp)
+                        if which == "read":
+                            summary.local_ext_read |= bit
+                        else:
+                            summary.local_ext_write |= bit
+                    continue
+                for src in instr.srcs:
+                    if (not isinstance(src, Imm)
+                            and src.num >= cores[src.cls]):
+                        summary.local_ext_read |= 1 << reg_bit(src.cls,
+                                                               src.num)
+                dest = instr.dest
+                if dest is not None and dest.num >= cores[dest.cls]:
+                    summary.local_ext_write |= 1 << reg_bit(dest.cls,
+                                                            dest.num)
+
+    # Transitive closure (plain fixpoint; recursion forms SCCs that simply
+    # iterate until their masks stabilize).
+    for summary in summaries.values():
+        summary.ext_may_write = summary.local_ext_write
+        summary.ext_may_read = summary.local_ext_read
+    changed = True
+    while changed:
+        changed = False
+        for summary in summaries.values():
+            write = summary.ext_may_write
+            read = summary.ext_may_read
+            unknown = summary.unknown_calls
+            for callee in summary.calls:
+                sub = summaries.get(callee)
+                if sub is None:
+                    unknown = True
+                    continue
+                write |= sub.ext_may_write
+                read |= sub.ext_may_read
+                unknown = unknown or sub.unknown_calls
+            if (write != summary.ext_may_write
+                    or read != summary.ext_may_read
+                    or unknown != summary.unknown_calls):
+                summary.ext_may_write = write
+                summary.ext_may_read = read
+                summary.unknown_calls = unknown
+                changed = True
+
+    return CallGraph(summaries=summaries, site_callee=site_callee,
+                     all_ext_mask=all_ext)

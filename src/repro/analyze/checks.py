@@ -8,7 +8,14 @@ One combined abstract state is propagated forward through each function:
 * callee-save bookkeeping (written / pristine-saved / restored allocatable
   core registers) — rule CC002;
 * the set of extended registers written since entry or the last call
-  (extended registers are caller-saved) — rule CC003.
+  (extended registers are caller-saved) — rule CC003.  With a call graph
+  available (and no trap handlers installed), a ``CALL`` only invalidates
+  the callee's transitive extended-write footprint instead of everything.
+
+A backward pass (:mod:`repro.analyze.liveness`) then solves mapping-slot
+and extended-register liveness per function, feeding rules RC003 (dead
+connect — now exact over reachable-but-never-read regions), RC005
+(redundant connect) and RC006 (dead extended-register write).
 
 After the fixpoint, a reporting pass replays each reachable block from its
 fixed entry state and emits findings; a final whole-program pass flags dead
@@ -22,6 +29,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.analyze.callgraph import CallGraph, build_callgraph
 from repro.analyze.cfg import FuncCFG, ProgramCFG, build_cfg
 from repro.analyze.dataflow import (
     DataflowResult,
@@ -29,9 +37,11 @@ from repro.analyze.dataflow import (
     reg_bit,
     reg_items,
     reg_mask,
+    solve_backward,
     solve_forward,
 )
 from repro.analyze.findings import AnalysisReport, Finding
+from repro.analyze.liveness import LiveState, SlotLiveness, after_states
 from repro.isa.opcodes import Opcode, falls_through
 from repro.isa.registers import FP_RETVAL, INT_RETVAL, Imm, RClass
 from repro.rc.abstract import AbstractMap
@@ -82,9 +92,11 @@ class _State:
 class _Checker(ForwardAnalysis):
     """Transfer functions mirroring the simulator's per-instruction effects."""
 
-    def __init__(self, program: MachineProgram, config: MachineConfig) -> None:
+    def __init__(self, program: MachineProgram, config: MachineConfig,
+                 callgraph: CallGraph | None = None) -> None:
         self.program = program
         self.config = config
+        self.callgraph = callgraph
         self.mapped = {
             cls: config.spec_for(cls) for cls in _CLASSES
             if config.spec_for(cls).has_rc
@@ -162,9 +174,16 @@ class _Checker(ForwardAnalysis):
                 m.reset_home()
             if op is Opcode.CALL:
                 # Extended registers are caller-saved: the callee may
-                # clobber any of them.  The callee returns its result in the
-                # return-value registers.
-                state.fresh = 0
+                # clobber any of them.  With a call graph (and no trap
+                # handlers — an interrupt may run anywhere and clobber
+                # anything), only the callee's transitive extended-write
+                # footprint is invalidated.  The callee returns its result
+                # in the return-value registers.
+                if (self.callgraph is not None
+                        and not self.program.trap_handlers):
+                    state.fresh &= ~self.callgraph.may_write_at(index)
+                else:
+                    state.fresh = 0
                 if state.defined is not None:
                     state.defined |= _RETVAL_MASK
             return state
@@ -289,19 +308,35 @@ def check_program(program: MachineProgram,
                   config: MachineConfig) -> AnalysisReport:
     """Run every static check on *program* and return the report."""
     cfg = build_cfg(program)
-    checker = _Checker(program, config)
+    callgraph = build_callgraph(cfg, config) if config.has_rc else None
+    checker = _Checker(program, config, callgraph=callgraph)
     results = [
         (fn, solve_forward(fn, checker, program.instrs))
         for fn in cfg.functions
     ]
+
+    # Backward slot/extended liveness per function, with the extended
+    # use/def masks resolved through the forward fixpoint (a mapped access
+    # only "uses" an extended register via whatever its slot holds there).
+    live_by_fn: dict[str, dict[int, LiveState]] = {}
+    if config.has_rc:
+        for fn, result in results:
+            ext_use, ext_def = _ext_tables(checker, fn, result, callgraph)
+            analysis = SlotLiveness(program, config,
+                                    ext_use=ext_use, ext_def=ext_def)
+            live_by_fn[fn.name] = after_states(
+                solve_backward(fn, analysis, program.instrs))
 
     collect = _Collector()
     findings: set[Finding] = set()
     for fn, result in results:
         _report_function(checker, fn, result, collect, findings,
                          config, program)
+        live = live_by_fn.get(fn.name)
+        if live is not None and not program.trap_handlers:
+            _report_dead_ext_writes(checker, fn, result, live, findings)
 
-    _report_dead_connects(checker, cfg, collect, findings)
+    _report_dead_connects(checker, cfg, live_by_fn, findings)
     _report_unreadable_ext(collect, findings)
 
     report = AnalysisReport(
@@ -380,6 +415,23 @@ def _report_function(checker: _Checker, fn: FuncCFG, result: DataflowResult,
                 for _cls, which, _ri, rp in instr.connect_updates():
                     if which == "read" and rp >= core:
                         collect.ext_readable.add((cls, rp))
+                # RC005: an update whose slot already holds exactly the
+                # requested physical register on every path in is a no-op.
+                # Walk the updates over a scratch copy so the second update
+                # of a combined connect sees the first.
+                if cls in checker.mapped:
+                    scratch = state.maps[cls].copy()
+                    for _cls, which, ri, rp in instr.connect_updates():
+                        if ri >= scratch.entries:
+                            continue
+                        entry = (scratch.read_entry(ri) if which == "read"
+                                 else scratch.write_entry(ri))
+                        if {p for p, _ in entry} == {rp}:
+                            emit("RC005", i,
+                                 f"connect of index {ri} to physical {rp} "
+                                 f"({which} map) is redundant (slot already "
+                                 f"holds it on every path in)")
+                        scratch.connect(which, ri, rp, None)
                 return
             save_key = checker.save_pattern(state, instr)
             src_phys: dict[RClass, set] = {}
@@ -437,10 +489,95 @@ def _report_function(checker: _Checker, fn: FuncCFG, result: DataflowResult,
                      f"control falls through the end of function {fn.name}")
 
 
+def _ext_tables(checker: _Checker, fn: FuncCFG, result: DataflowResult,
+                callgraph: CallGraph | None
+                ) -> tuple[dict[int, int], dict[int, int]]:
+    """Per-instruction extended-register use/def masks for liveness.
+
+    The forward fixpoint resolves every mapped operand to its possible
+    physical registers, so the backward pass knows that e.g. a read through
+    a slot holding physical 70 keeps extended register 70 live.  Defs only
+    record *definite* (single-target) extended writes — an ambiguous write
+    must not kill liveness.  ``CALL`` sites use the callee's transitive
+    may-read summary.
+    """
+    ext_use: dict[int, int] = {}
+    ext_def: dict[int, int] = {}
+    core_of = {cls: checker.config.spec_for(cls).core for cls in _CLASSES}
+
+    def visit(state: _State, i: int, instr) -> None:
+        if instr.is_connect:
+            return
+        if instr.op is Opcode.CALL:
+            if callgraph is not None:
+                mask = callgraph.may_read_at(i)
+                if mask:
+                    ext_use[i] = mask
+            return
+        use = 0
+        for src in instr.reg_srcs():
+            entry, _ = checker.read_entry(state, src.cls, src.num)
+            for p, _site in entry:
+                if p >= core_of[src.cls]:
+                    use |= 1 << reg_bit(src.cls, p)
+        if use:
+            ext_use[i] = use
+        dest = instr.dest
+        if dest is not None:
+            entry, _ = checker.write_entry(state, dest.cls, dest.num)
+            targets = {p for p, _ in entry}
+            if len(targets) == 1:
+                p = next(iter(targets))
+                if p >= core_of[dest.cls]:
+                    ext_def[i] = 1 << reg_bit(dest.cls, p)
+
+    for start in sorted(fn.reachable()):
+        result.walk(fn.blocks[start], visit)
+    return ext_use, ext_def
+
+
+def _report_dead_ext_writes(checker: _Checker, fn: FuncCFG,
+                            result: DataflowResult,
+                            live: dict[int, LiveState],
+                            findings: set[Finding]) -> None:
+    """RC006: definite extended-register writes whose value is never read."""
+    core_of = {cls: checker.config.spec_for(cls).core for cls in _CLASSES}
+
+    def visit(state: _State, i: int, instr) -> None:
+        dest = instr.dest
+        if dest is None or instr.is_connect or i not in live:
+            return
+        entry, _ = checker.write_entry(state, dest.cls, dest.num)
+        targets = {p for p, _ in entry}
+        if len(targets) != 1:
+            return
+        p = next(iter(targets))
+        if p < core_of[dest.cls]:
+            return
+        if not live[i][2] >> reg_bit(dest.cls, p) & 1:
+            findings.add(Finding(
+                rule="RC006", index=i, function=fn.name,
+                message=(f"write of {dest!r} lands in extended physical "
+                         f"{p} ({dest.cls.value}) which is never read "
+                         f"afterwards"),
+            ))
+
+    for start in sorted(fn.reachable()):
+        result.walk(fn.blocks[start], visit)
+
+
 def _report_dead_connects(checker: _Checker, cfg: ProgramCFG,
-                          collect: _Collector,
+                          live_by_fn: dict[str, dict[int, LiveState]],
                           findings: set[Finding]) -> None:
-    """RC003: connects none of whose non-home updates are ever used."""
+    """RC003: connects none of whose non-home updates can be observed.
+
+    Decided by backward slot liveness: an update is dead when its slot is
+    overwritten or reset on every path before any access resolves through
+    it — including connects inside reachable-but-never-read regions, which
+    the earlier forward used-site bookkeeping silently skipped.  Connects
+    outside every recovered function never execute at all and stay out of
+    scope here (they are unreachable code, not a live-but-dead mapping).
+    """
     program = cfg.program
     for i, instr in enumerate(program.instrs):
         if not instr.is_connect:
@@ -448,20 +585,37 @@ def _report_dead_connects(checker: _Checker, cfg: ProgramCFG,
         start = _containing_block(cfg, i)
         block = cfg.block_at[start] if start is not None else None
         if block is None or not block.func:
-            continue  # unreachable connect: dead code, not a dead mapping
-        updates = [(which, ri, rp) for _cls, which, ri, rp
-                   in instr.connect_updates() if rp != ri]
-        if not updates:
-            continue  # pure home-restore
-        if any((i, which, ri) in collect.used_sites
-               for which, ri, _rp in updates):
+            continue  # outside every function: unreachable code
+        live = live_by_fn.get(block.func)
+        if live is None or i not in live:
             continue
-        which, ri, rp = updates[0]
-        findings.add(Finding(
-            rule="RC003", index=i, function=block.func,
-            message=(f"connect of index {ri} to physical {rp} ({which} map) "
-                     f"is never used before being reset or remapped"),
-        ))
+        cls = instr.imm[0]
+        entries = checker.entries_of(cls)
+        rmap, wmap, _ext = live[i]
+        updates = instr.connect_updates()
+        dead: dict[int, tuple] = {}
+        redefined: set[tuple[str, int]] = set()
+        for pos in range(len(updates) - 1, -1, -1):
+            _cls, which, ri, rp = updates[pos]
+            if ri >= entries:
+                continue
+            bit = 1 << reg_bit(cls, ri)
+            alive = (rmap if which == "read" else wmap) & bit
+            if (which, ri) in redefined or not alive:
+                dead[pos] = (which, ri, rp)
+            redefined.add((which, ri))
+        non_home = [pos for pos, (_cls, _which, ri, rp) in enumerate(updates)
+                    if rp != ri]
+        if not non_home:
+            continue  # pure home-restore
+        if all(pos in dead for pos in non_home):
+            which, ri, rp = dead[non_home[0]]
+            findings.add(Finding(
+                rule="RC003", index=i, function=block.func,
+                message=(f"connect of index {ri} to physical {rp} "
+                         f"({which} map) is never used before being reset "
+                         f"or remapped"),
+            ))
 
 
 def _containing_block(cfg: ProgramCFG, index: int) -> int | None:

@@ -1,4 +1,4 @@
-"""A small forward abstract-interpretation framework.
+"""A small two-direction abstract-interpretation framework.
 
 A client analysis subclasses :class:`ForwardAnalysis` and provides:
 
@@ -13,6 +13,14 @@ block-entry states stop changing; states must define ``__eq__``.  The result
 exposes the fixpoint state at every block entry, and :meth:`DataflowResult.walk`
 replays a block's transfer functions from its fixed entry state so clients
 can observe the per-instruction states without storing them all.
+
+:class:`BackwardAnalysis` / :func:`solve_backward` are the mirror image for
+analyses that flow against control (liveness): ``boundary(fn)`` is the state
+at function *exits* (blocks with no intraprocedural successor), ``bottom(fn)``
+is the join identity used for blocks inside exit-less cycles, and
+``transfer(state, index, instr)`` maps the state *after* an instruction to
+the state *before* it.  :meth:`BackwardResult.walk` replays a block from its
+fixed exit state, visiting instructions last-to-first.
 """
 
 from __future__ import annotations
@@ -154,3 +162,109 @@ def solve_forward(fn: FuncCFG, analysis: ForwardAnalysis,
     del position
     return DataflowResult(fn=fn, analysis=analysis, block_in=block_in,
                           instrs=instrs)
+
+
+class BackwardAnalysis:
+    """Interface for a backward dataflow analysis (see module docstring)."""
+
+    def boundary(self, fn: FuncCFG) -> Any:
+        """State at function exits (RET/HALT/RTE and fall-off blocks)."""
+        raise NotImplementedError
+
+    def bottom(self, fn: FuncCFG) -> Any:
+        """The join identity (used for not-yet-computed back-edge inputs)."""
+        raise NotImplementedError
+
+    def join(self, a: Any, b: Any) -> Any:
+        raise NotImplementedError
+
+    def copy(self, state: Any) -> Any:
+        raise NotImplementedError
+
+    def transfer(self, state: Any, index: int, instr: Any) -> Any:
+        """Map the state *after* instruction *index* to the state before it."""
+        raise NotImplementedError
+
+
+@dataclass
+class BackwardResult:
+    """Fixpoint of one backward analysis over one function."""
+
+    fn: FuncCFG
+    analysis: BackwardAnalysis
+    #: block start -> abstract state after the block's last instruction.
+    block_out: dict[int, Any]
+    #: block start -> abstract state before the block's first instruction.
+    block_in: dict[int, Any]
+    instrs: list  # the program's instruction list
+
+    def walk(self, block: MachineBlock,
+             visit: Callable[[Any, int, Any], None]) -> Any:
+        """Replay *block* backward from its fixed exit state.
+
+        ``visit(state_after, index, instr)`` is called for each instruction,
+        last first, with the state holding *after* it executes; returns the
+        block's in-state.
+        """
+        state = self.analysis.copy(self.block_out[block.start])
+        for i in range(block.end - 1, block.start - 1, -1):
+            visit(state, i, self.instrs[i])
+            state = self.analysis.transfer(state, i, self.instrs[i])
+        return state
+
+
+def solve_backward(fn: FuncCFG, analysis: BackwardAnalysis,
+                   instrs: list,
+                   max_iterations: int = 100_000) -> BackwardResult:
+    """Run *analysis* backward over *fn* to fixpoint.
+
+    A block's out-state is the join of its intraprocedural successors'
+    in-states; blocks with no successor inside the function (returns, halts,
+    falls-off-end, or edges leaving a compiler-delimited range) use
+    ``boundary(fn)``.  Blocks inside exit-less cycles start from
+    ``bottom(fn)`` and iterate up, so infinite loops still converge.
+    """
+    rpo = fn.rpo()
+    block_out: dict[int, Any] = {}
+    block_in: dict[int, Any] = {}
+
+    work: deque[MachineBlock] = deque(reversed(rpo))  # post-order first
+    queued = {b.start for b in rpo}
+    iterations = 0
+    while work:
+        iterations += 1
+        if iterations > max_iterations:  # pragma: no cover - safety net
+            raise RuntimeError(f"backward dataflow did not converge "
+                               f"in {fn.name}")
+        block = work.popleft()
+        queued.discard(block.start)
+
+        succs = [s for s in block.succs if s in fn.blocks]
+        if succs:
+            state = analysis.bottom(fn)
+            for s in succs:
+                nxt = block_in.get(s)
+                if nxt is not None:
+                    state = analysis.join(state, nxt)
+        else:
+            state = analysis.boundary(fn)
+
+        if block.start in block_out and block_out[block.start] == state:
+            if block.start in block_in:
+                continue
+        block_out[block.start] = state
+
+        in_state = analysis.copy(state)
+        for i in range(block.end - 1, block.start - 1, -1):
+            in_state = analysis.transfer(in_state, i, instrs[i])
+        if (block.start in block_in
+                and block_in[block.start] == in_state):
+            continue
+        block_in[block.start] = in_state
+        for p in block.preds:
+            if p in fn.blocks and p not in queued:
+                work.append(fn.blocks[p])
+                queued.add(p)
+
+    return BackwardResult(fn=fn, analysis=analysis, block_out=block_out,
+                          block_in=block_in, instrs=instrs)

@@ -45,6 +45,12 @@ RULES: dict[str, Rule] = {
              "connect mapping is dead (reset or overwritten before use)"),
         Rule("RC004", Severity.WARNING,
              "extended register is written but never readable"),
+        Rule("RC005", Severity.WARNING,
+             "redundant connect (slot already holds the target on every "
+             "path in)"),
+        Rule("RC006", Severity.WARNING,
+             "write lands in an extended register that is dead (never read "
+             "before being rewritten or abandoned)"),
         Rule("UBD001", Severity.WARNING,
              "direct read of a register the program never writes"),
         Rule("CC001", Severity.ERROR,
@@ -157,3 +163,79 @@ class AnalysisReport:
 
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)
+
+
+class Baseline:
+    """A committed snapshot of expected findings (``--baseline``).
+
+    The file records, per check target (``"<name> model <n>"``), the exact
+    findings present when the baseline was taken.  Applying the baseline
+    suppresses precisely those findings — matched on rule, index, function
+    and message, with multiplicity — so ``repro check --strict`` can gate on
+    *new* findings while historical, reviewed ones (e.g. LAT001 schedule
+    infos on benchmark code) stay recorded instead of silenced wholesale.
+    """
+
+    VERSION = 1
+
+    def __init__(self, targets: dict[str, list[dict]] | None = None) -> None:
+        self.targets: dict[str, list[dict]] = targets or {}
+
+    # -- persistence ---------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+        if data.get("version") != cls.VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} "
+                f"in {path} (expected {cls.VERSION})")
+        return cls(targets={label: list(entries)
+                            for label, entries in data["targets"].items()})
+
+    def save(self, path: str) -> None:
+        data = {"version": self.VERSION,
+                "targets": {label: self.targets[label]
+                            for label in sorted(self.targets)}}
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(data, fh, indent=2, sort_keys=False)
+            fh.write("\n")
+
+    # -- matching ------------------------------------------------------------
+
+    @staticmethod
+    def _key(entry: dict) -> tuple:
+        return (entry.get("rule"), entry.get("index"),
+                entry.get("function"), entry.get("message"))
+
+    def record(self, label: str, report: "AnalysisReport") -> None:
+        """Store *report*'s current findings as the expectation for *label*."""
+        entries = [f.to_dict() for f in report.findings]
+        if entries:
+            self.targets[label] = entries
+        else:
+            self.targets.pop(label, None)
+
+    def apply(self, label: str, report: "AnalysisReport") -> int:
+        """Suppress *report* findings recorded for *label*; returns count.
+
+        Each baseline entry suppresses at most one identical finding, so a
+        regression that *adds* a second identical finding still surfaces.
+        """
+        budget: dict[tuple, int] = {}
+        for entry in self.targets.get(label, []):
+            key = self._key(entry)
+            budget[key] = budget.get(key, 0) + 1
+        kept: list[Finding] = []
+        hits = 0
+        for f in report.findings:
+            key = (f.rule, f.index, f.function, f.message)
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                hits += 1
+            else:
+                kept.append(f)
+        report.findings = kept
+        report.suppressed += hits
+        return hits

@@ -30,7 +30,7 @@ import sys
 import time
 from concurrent.futures import ProcessPoolExecutor
 
-from repro.analyze import annotate_listing, check_program
+from repro.analyze import Baseline, annotate_listing, check_program
 from repro.errors import CycleBudgetError
 from repro.compiler import CompileOptions, OptOptions, compile_module
 from repro.compiler.regalloc.allocator import AllocationOptions
@@ -179,6 +179,9 @@ def cmd_disasm(args) -> int:
     if args.annotate:
         report = check_program(out.program, config)
         listing = annotate_listing(out.program, config, report)
+        if out.connect_opt is not None:
+            footer = "\n".join(f"; {ln}" for ln in out.connect_opt.lines())
+            listing = f"{listing}\n{footer}"
     else:
         listing = format_listing(out.program.instrs)
     if args.head:
@@ -187,23 +190,13 @@ def cmd_disasm(args) -> int:
     return 0
 
 
-def _check_one(program, config, args, label: str, runs: list) -> int:
-    report = check_program(program, config)
-    runs.append({"target": label, "machine": config.describe(),
-                 **report.to_dict()})
-    if not args.json:
-        status = "clean" if report.clean(args.strict) else "FAIL"
-        print(f"== {label} [{config.describe()}]: {status}")
-        for f in report.findings:
-            print(f"   {f.format()}")
-    return report.exit_code(args.strict)
-
-
 def _check_job(args, name: str, model: int, matrix: bool):
     """Compile one benchmark under one reset model and statically check it.
 
     Runs in a worker process for ``check all`` / ``--models`` fan-outs, so
-    everything returned (and *args* itself) must pickle.
+    everything returned (and *args* itself) must pickle.  Baseline
+    bookkeeping happens in the parent, which is why the report itself is
+    shipped back.
     """
     ns = copy.copy(args)
     ns.model = model
@@ -216,17 +209,29 @@ def _check_job(args, name: str, model: int, matrix: bool):
     config = _build_machine(ns, w.kind)
     out = compile_module(module, config, _build_options(ns))
     report = check_program(out.program, config)
-    run = {"target": f"{name} model {model}", "machine": config.describe(),
-           **report.to_dict()}
-    lines = [f.format() for f in report.findings]
-    state = "clean" if report.clean(args.strict) else "FAIL"
-    return run, lines, state, report.exit_code(args.strict)
+    return f"{name} model {model}", config.describe(), report
+
+
+def _load_baseline(args) -> Baseline | None:
+    if not args.baseline:
+        if args.update_baseline:
+            print("--update-baseline requires --baseline FILE",
+                  file=sys.stderr)
+            raise SystemExit(2)
+        return None
+    try:
+        return Baseline.load(args.baseline)
+    except FileNotFoundError:
+        if args.update_baseline:
+            return Baseline()  # first capture starts empty
+        raise
 
 
 def cmd_check(args) -> int:
     started = time.perf_counter()
     models = ([int(m) for m in args.models.split(",")]
               if args.models else None)
+    baseline = _load_baseline(args)
     runs: list[dict] = []
     status = 0
     workers = 1
@@ -234,10 +239,13 @@ def cmd_check(args) -> int:
     if args.target.endswith(".s"):
         with open(args.target) as fh:
             program = parse_program(fh.read())
+        outputs = []
         for model in models or [args.model]:
             args.model = model
             config = _build_machine(args, "int")
-            status |= _check_one(program, config, args, args.target, runs)
+            outputs.append((f"{args.target} model {model}",
+                            config.describe(),
+                            check_program(program, config)))
     else:
         names = (list(ALL_BENCHMARKS) if args.target == "all"
                  else [args.target])
@@ -260,13 +268,27 @@ def cmd_check(args) -> int:
         else:
             outputs = [_check_job(args, name, model, bool(models))
                        for name, model in tasks]
-        for run, lines, state, code in outputs:
-            runs.append(run)
-            status |= code
-            if not args.json:
-                print(f"== {run['target']} [{run['machine']}]: {state}")
-                for line in lines:
-                    print(f"   {line}")
+
+    for label, machine, report in outputs:
+        if baseline is not None:
+            if args.update_baseline:
+                baseline.record(label, report)
+            else:
+                baseline.apply(label, report)
+        runs.append({"target": label, "machine": machine,
+                     **report.to_dict()})
+        status |= report.exit_code(args.strict)
+        if not args.json:
+            state = "clean" if report.clean(args.strict) else "FAIL"
+            print(f"== {label} [{machine}]: {state}")
+            for f in report.findings:
+                print(f"   {f.format()}")
+
+    if baseline is not None and args.update_baseline:
+        baseline.save(args.baseline)
+        print(f"updated baseline {args.baseline} "
+              f"({len(baseline.targets)} target(s) with findings)",
+              file=sys.stderr)
 
     elapsed = time.perf_counter() - started
     payload = {"strict": args.strict, "clean": status == 0, "runs": runs}
@@ -561,6 +583,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--strict", action="store_true",
                    help="fail on warnings and schedule diagnostics "
                         "(LAT001), not just errors")
+    p.add_argument("--baseline", metavar="FILE", default=None,
+                   help="suppress exactly the findings recorded in FILE "
+                        "(JSON baseline), so --strict gates on new ones")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="rewrite --baseline FILE from this run's findings "
+                        "instead of applying it")
     p.add_argument("--json", action="store_true",
                    help="emit machine-readable JSON reports")
     p.add_argument("-o", "--output", default=None,

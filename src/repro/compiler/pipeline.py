@@ -83,6 +83,12 @@ class CompileOptions:
     #: schedule); ``None`` defers to ``$REPRO_COMPILE_JOBS`` (default
     #: serial).  The emitted program is byte-identical for any job count.
     jobs: int | None = None
+    #: Run the analysis-driven connect optimizer
+    #: (:mod:`repro.analyze.optimize`) on the laid-out machine program:
+    #: delete dead connects, eliminate redundant ones, hoist loop-invariant
+    #: ones to preheaders.  Architecturally invisible (gated by bit-exact
+    #: parity in CI); the report lands in :attr:`CompileOutput.connect_opt`.
+    opt_connects: bool = True
 
 
 @dataclass
@@ -97,6 +103,8 @@ class CompileStats:
     frame_instructions: int = 0
     spilled_vregs: int = 0
     extended_vregs: int = 0
+    #: Static connect instructions removed by the connect optimizer.
+    connects_removed: int = 0
 
     @property
     def overhead_instructions(self) -> int:
@@ -135,6 +143,9 @@ class CompileOutput:
     #: Per-pass wall time and IR deltas, populated when the caller passed a
     #: :class:`~repro.observe.passes.PassMetrics` to :func:`compile_module`.
     metrics: PassMetrics | None = None
+    #: What the connect optimizer did (``None`` when it was disabled).
+    #: The object is ``repro.analyze.optimize.ConnectOptReport``.
+    connect_opt: object | None = None
 
 
 def _call_graph_reachability(module: Module) -> dict[str, set[str]]:
@@ -403,9 +414,21 @@ def _finish_compile(module: Module, work: Module, config: MachineConfig,
                     interp_result: InterpResult,
                     allocations: dict[str, AllocationResult],
                     stats: CompileStats) -> CompileOutput:
-    """Layout, optional static check, and code-size accounting."""
+    """Layout, connect optimization, optional check, and accounting."""
     with maybe_measure(metrics, "layout", work):
         program = lower_module(work, entry=entry, name=module.name)
+
+    connect_opt = None
+    if options.opt_connects and config.has_rc:
+        # Imported here: repro.analyze consumes machine programs and is not
+        # otherwise a compiler dependency.
+        from repro.analyze import optimize_connects
+
+        with maybe_measure(metrics, "connect-opt", work):
+            result = optimize_connects(program, config)
+        program = result.program
+        connect_opt = result.report
+        stats.connects_removed = connect_opt.removed
 
     if options.check:
         # Imported here: repro.analyze consumes machine programs and is not
@@ -431,4 +454,5 @@ def _finish_compile(module: Module, work: Module, config: MachineConfig,
     stats.frame_instructions = counts.get("frame", 0)
     return CompileOutput(program=program, module=work, profile=profile,
                          stats=stats, allocations=allocations,
-                         interp=interp_result, metrics=metrics)
+                         interp=interp_result, metrics=metrics,
+                         connect_opt=connect_opt)

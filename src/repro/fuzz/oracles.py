@@ -162,6 +162,71 @@ def batched_parity(program) -> str | None:
     return None
 
 
+def opt_parity(program) -> str | None:
+    """Connect-optimizer soundness over the gang matrix.
+
+    For every model {1,2,4} × width {1,2,4} point: optimizing the program
+    must preserve its architectural outcome bit-exactly — final memory,
+    both register files, halting state, and on faults the exception *type*
+    (messages carry instruction indices, which deletion legitimately
+    shifts) — and a second pass must find nothing left to do.  At one
+    width per model the checker must also agree: a warning-clean original
+    stays warning-clean after optimization (LAT001 schedule infos may
+    shift with deleted instructions and are excluded).
+    """
+    from repro.analyze import optimize_connects
+
+    for config in gang_configs():
+        tag = f"w{config.issue_width}-m{config.rc_model.value}"
+        opt_exc, result = _outcome(
+            lambda c=config: optimize_connects(program, c))
+        if opt_exc is not None:
+            return f"{tag}: optimizer crashed: {opt_exc!r}"
+        if result.report.changed:
+            base_exc, base = _outcome(
+                lambda c=config: FastSimulator(program, c).run())
+            new_exc, new = _outcome(
+                lambda c=config, p=result.program: FastSimulator(p, c).run())
+            base_type = base_exc[0] if base_exc else None
+            new_type = new_exc[0] if new_exc else None
+            if base_type != new_type:
+                return (f"{tag}: fault mismatch after optimization: "
+                        f"original {base_exc!r} vs optimized {new_exc!r}")
+            if base_exc is None:
+                for what, a, b in (
+                    ("halted", base.halted, new.halted),
+                    ("memory", base.state.memory, new.state.memory),
+                    ("int_regs", base.state.int_regs, new.state.int_regs),
+                    ("fp_regs", base.state.fp_regs, new.state.fp_regs),
+                ):
+                    if a != b:
+                        return (f"{tag}: {what} diverge after "
+                                f"optimization: {a!r} vs {b!r}")
+            again_exc, again = _outcome(
+                lambda c=config, p=result.program: optimize_connects(p, c))
+            if again_exc is not None:
+                return f"{tag}: re-optimization crashed: {again_exc!r}"
+            if again.report.changed:
+                return (f"{tag}: optimizer is not idempotent: second pass "
+                        f"made {len(again.report.edits)} more edit(s)")
+        if config.issue_width == 2:
+            chk_exc, before = _outcome(
+                lambda c=config: check_program(program, c))
+            if chk_exc is not None:
+                return f"{tag}: checker crashed: {chk_exc!r}"
+            if before.errors or before.warnings:
+                continue  # the clean-stays-clean claim does not apply
+            chk_exc, after = _outcome(
+                lambda c=config, p=result.program: check_program(p, c))
+            if chk_exc is not None:
+                return f"{tag}: checker crashed on optimized: {chk_exc!r}"
+            if after.errors or after.warnings:
+                first = (after.errors + after.warnings)[0]
+                return (f"{tag}: optimization introduced a finding on a "
+                        f"clean program: {first.format()}")
+    return None
+
+
 def sim_parity(program, config) -> tuple[str | None, bool]:
     """Fast-vs-reference simulator parity on one (program, config) point.
 

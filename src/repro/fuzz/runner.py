@@ -51,6 +51,7 @@ from repro.fuzz.oracles import (
     fuzz_configs,
     interp_parity,
     mutation_surfaced,
+    opt_parity,
     resume_parity,
     sim_parity,
 )
@@ -175,6 +176,18 @@ class _Session:
                                tag="load-latency=4")
         self._check_resume(program, diagonal[seed % len(diagonal)], seed)
         self._check_batched(program, seed)
+        self._check_opt_parity(program, seed)
+
+    def _check_opt_parity(self, program, seed) -> None:
+        self.report.bump("opt_runs")
+        problem = opt_parity(program)
+        if problem is None:
+            return
+        predicate = lambda p: opt_parity(p) is not None  # noqa: E731
+        self._record(Divergence(
+            oracle="opt-parity", detail=problem, level="asm", seed=seed,
+            config="gang-of-9",
+            reproducer=self._shrunk_asm(program, predicate)))
 
     def _check_batched(self, program, seed) -> None:
         self.report.bump("gang_runs")
@@ -400,6 +413,13 @@ class _Session:
         if problem is not None:
             self._record(Divergence(
                 oracle="batched-parity", detail=problem, level="asm",
+                case_name=case.name, config="gang-of-9",
+                reproducer=case.text))
+        self.report.bump("opt_runs")
+        problem = opt_parity(program)
+        if problem is not None:
+            self._record(Divergence(
+                oracle="opt-parity", detail=problem, level="asm",
                 case_name=case.name, config="gang-of-9",
                 reproducer=case.text))
 

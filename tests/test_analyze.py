@@ -4,11 +4,13 @@ import pytest
 
 from repro.analyze import (
     RULES,
+    BackwardAnalysis,
     ForwardAnalysis,
     Severity,
     annotate_listing,
     build_cfg,
     check_program,
+    solve_backward,
     solve_forward,
 )
 from repro.compiler.pipeline import CompileOptions, compile_module
@@ -147,6 +149,29 @@ class MustDefined(MayDefined):
         return a & b
 
 
+class LiveRegs(BackwardAnalysis):
+    """Classic liveness over plain register numbers (backward may-union)."""
+
+    def boundary(self, fn):
+        return frozenset()
+
+    def bottom(self, fn):
+        return frozenset()
+
+    def join(self, a, b):
+        return a | b
+
+    def copy(self, state):
+        return state
+
+    def transfer(self, state, index, instr):
+        if instr.dest is not None:
+            state = state - {instr.dest.num}
+        for src in instr.reg_srcs():
+            state = state | {src.num}
+        return state
+
+
 class TestDataflow:
     def _solve(self, text, analysis):
         program = parse_program(text)
@@ -185,6 +210,83 @@ class TestDataflow:
     def test_out_state(self):
         fn, result = self._solve(LOOP, MayDefined())
         assert result.out_state(fn.blocks[fn.entry]) == {5, 6}
+
+
+BWD_DIAMOND = """
+start:
+    li r5, 1
+    li r6, 2
+    li r7, 3
+    blt r5, 10 -> left
+    add r8, r6, 1
+    jmp merge
+left:
+    add r8, r7, 1
+merge:
+    add r9, r8, 1
+    halt
+"""
+
+# Two-entry loop between blocks ``a`` and ``b``: no single header
+# dominates the cycle, so only a genuine fixpoint solves it.
+IRREDUCIBLE = """
+start:
+    li r5, 0
+    li r6, 1
+    blt r5, 10 -> b
+a:
+    add r5, r5, 1
+    blt r5, 20 -> b
+    jmp out
+b:
+    add r6, r6, 1
+    blt r6, 30 -> a
+out:
+    halt
+"""
+
+
+class TestBackwardDataflow:
+    def _solve(self, text, analysis):
+        program = parse_program(text)
+        fn = build_cfg(program).functions[0]
+        return fn, solve_backward(fn, analysis, program.instrs)
+
+    def test_diamond_join_unions_both_arms(self):
+        fn, result = self._solve(BWD_DIAMOND, LiveRegs())
+        merge = max(fn.blocks)
+        assert result.block_in[merge] == {8}
+        # The two arms read r6 / r7 respectively; the branch block's
+        # out-state is the union of their in-states.
+        assert result.block_out[fn.entry] == {6, 7}
+        assert result.block_in[fn.entry] == frozenset()
+
+    def test_loop_reaches_fixpoint(self):
+        fn, result = self._solve(LOOP, LiveRegs())
+        # The loop body reads r5 and r6 before redefining them, so both
+        # are live around the back edge and into the header.
+        assert result.block_in[2] == {5, 6}
+        assert result.block_in[fn.entry] == frozenset()
+
+    def test_irreducible_cycle_converges(self):
+        fn, result = self._solve(IRREDUCIBLE, LiveRegs())
+        # Both cycle entries see both counters live: each half reads one
+        # counter and the cross edges carry the other around.
+        assert result.block_in[3] == {5, 6}
+        assert result.block_in[6] == {5, 6}
+        assert result.block_in[fn.entry] == frozenset()
+
+    def test_unreachable_block_left_at_bottom(self):
+        fn, result = self._solve(DEAD_BLOCK, LiveRegs())
+        assert 2 not in result.block_in
+
+    def test_walk_replays_block_backward(self):
+        fn, result = self._solve(LOOP, LiveRegs())
+        seen = []
+        result.walk(fn.blocks[fn.entry],
+                    lambda state, i, instr: seen.append((i, state)))
+        assert seen[0] == (1, {5, 6})  # after ``li r6, 1``: loop needs both
+        assert seen[1] == (0, {5})     # after ``li r5, 0``: r6 not yet set
 
 
 # ---------------------------------------------------------------------------
@@ -239,13 +341,75 @@ start:
 """, model=model)
         self.assert_only(report, "RC003")
 
+    @pytest.mark.parametrize("model", ALL_MODELS)
+    def test_rc003_connect_dead_across_join(self, model):
+        # The connect of index 6 to physical 20 is remapped on *both* arms
+        # before the only read of r6: dead on every path, which only the
+        # backward slot-liveness pass can prove (the slot is still observed
+        # inside the same block by nothing, and the forward map state alone
+        # cannot distinguish "overwritten everywhere" from "used on one arm").
+        _, report = check_asm("""
+start:
+    li r20, 7
+    li r21, 9
+    li r5, 1
+    connect_use ri6, rp20
+    connect_use ri7, rp20
+    add r8, r7, 1
+    blt r5, 10 -> left
+    connect_use ri6, rp21
+    jmp merge
+left:
+    connect_use ri6, rp21
+merge:
+    add r9, r6, 1
+    halt
+""", model=model)
+        self.assert_only(report, "RC003")
+
     def test_rc004_unreadable_ext_write(self):
         _, report = check_asm("""
 start:
     li r20, 7
     halt
 """)
-        self.assert_only(report, "RC004")
+        # Unreadable implies never-read: the same write is also flagged as
+        # dead by the backward extended-register liveness (RC006).
+        assert report.counts() == {"RC004": 1, "RC006": 1}, report.render()
+
+    @pytest.mark.parametrize("model", ALL_MODELS)
+    def test_rc005_redundant_connect(self, model):
+        _, report = check_asm("""
+start:
+    li r20, 7
+    connect_use ri6, rp20
+    add r7, r6, 1
+    connect_use ri6, rp20
+    add r8, r6, 1
+    halt
+""", model=model)
+        if model == 5:
+            # READ_RESET: the first read resets the slot back to home, so
+            # the second connect re-establishes the mapping — not redundant.
+            assert report.counts() == {}, report.render()
+        else:
+            self.assert_only(report, "RC005")
+
+    @pytest.mark.parametrize("model", ALL_MODELS)
+    def test_rc006_dead_ext_write(self, model):
+        # The first write into physical 20 is definitely overwritten before
+        # any read resolves to it; the register itself *is* readable, so
+        # RC004 stays silent and only the liveness-based rule fires.
+        _, report = check_asm("""
+start:
+    li r20, 7
+    li r20, 9
+    connect_use ri6, rp20
+    add r7, r6, 1
+    halt
+""", model=model)
+        self.assert_only(report, "RC006")
+        assert report.findings[0].index == 0
 
     def test_ubd001_direct_read_before_def(self):
         _, report = check_asm("""
@@ -294,6 +458,30 @@ f:
 
     @pytest.mark.parametrize("model", ALL_MODELS)
     def test_cc003_ext_read_across_call(self, model):
+        # The callee rewrites physical 20, so the caller's read after the
+        # call sees a value a call may have clobbered.  (The callee reads
+        # its own write back so no dead-write rule fires alongside.)
+        _, report = check_asm("""
+start:
+    connect_def ri6, rp20
+    li r6, 7
+    call f
+    connect_use ri6, rp20
+    add r7, r6, 1
+    halt
+f:
+    li r20, 9
+    connect_use ri6, rp20
+    store r6, 0(r0)
+    ret
+""", model=model)
+        self.assert_only(report, "CC003")
+
+    @pytest.mark.parametrize("model", ALL_MODELS)
+    def test_cc003_silent_when_callee_cannot_clobber(self, model):
+        # With the call graph available, a CALL only invalidates the
+        # callee's transitive extended-write footprint: an empty callee
+        # leaves the extended register provably intact.
         _, report = check_asm("""
 start:
     connect_def ri6, rp20
@@ -305,7 +493,7 @@ start:
 f:
     ret
 """, model=model)
-        self.assert_only(report, "CC003")
+        assert report.counts() == {}, report.render()
 
     def test_lat001_dependent_pair_below_latency(self):
         _, report = check_asm("""
@@ -322,7 +510,8 @@ start:
     def test_every_registered_rule_is_covered(self):
         # The fixtures above exercise the whole registry.
         assert set(RULES) == {"CFG001", "RC001", "RC002", "RC003", "RC004",
-                              "UBD001", "CC001", "CC002", "CC003", "LAT001"}
+                              "RC005", "RC006", "UBD001", "CC001", "CC002",
+                              "CC003", "LAT001"}
 
 
 # ---------------------------------------------------------------------------

@@ -280,6 +280,42 @@ class TestCheck:
         assert main(["check", str(asm_dir / "connect_demo.s"), "--rc",
                      "--models", "1,2,3,4,5"]) == 0
 
+    def test_check_baseline_roundtrip(self, tmp_path, capsys):
+        import json
+        src = tmp_path / "hazard.s"
+        src.write_text(LATENT_HAZARD)
+        base = tmp_path / "baseline.json"
+        # Strict fails on the LAT001 info before a baseline exists.
+        assert main(["check", str(src), "--strict"]) == 1
+        assert main(["check", str(src), "--baseline", str(base),
+                     "--update-baseline"]) == 0
+        assert "updated baseline" in capsys.readouterr().err
+        # Applying the recorded baseline suppresses exactly that finding.
+        assert main(["check", str(src), "--strict", "--baseline",
+                     str(base), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["runs"][0]["counts"] == {}
+        assert payload["runs"][0]["suppressed"] == 1
+
+    def test_check_baseline_does_not_hide_new_findings(self, tmp_path,
+                                                       capsys):
+        src = tmp_path / "prog.s"
+        src.write_text(LATENT_HAZARD)
+        base = tmp_path / "baseline.json"
+        assert main(["check", str(src), "--baseline", str(base),
+                     "--update-baseline"]) == 0
+        # A new problem in the same file is not covered by the baseline.
+        src.write_text(LATENT_HAZARD.replace("halt\n", ""))
+        assert main(["check", str(src), "--strict", "--baseline",
+                     str(base)]) == 1
+        assert "CFG001" in capsys.readouterr().out
+
+    def test_check_update_baseline_requires_path(self, tmp_path):
+        src = tmp_path / "hazard.s"
+        src.write_text(LATENT_HAZARD)
+        with pytest.raises(SystemExit):
+            main(["check", str(src), "--update-baseline"])
+
 
 class TestDisasmAnnotate:
     def test_annotate_interleaves_blocks(self, capsys):
@@ -288,3 +324,9 @@ class TestDisasmAnnotate:
         out = capsys.readouterr().out
         assert "; -- block @" in out
         assert "map:" in out
+
+    def test_annotate_appends_connect_opt_footer(self, capsys):
+        assert main(["disasm", "cmp", "--rc", "--annotate"]) == 0
+        out = capsys.readouterr().out
+        assert "; connect-opt:" in out
+        assert "static connects" in out

@@ -39,6 +39,7 @@ from repro.fuzz.oracles import (
     compile_determinism,
     fuzz_configs,
     interp_parity,
+    opt_parity,
     resume_parity,
     sim_parity,
 )
@@ -209,6 +210,13 @@ class TestProperties:
     def test_asm_resume_parity(self, seed):
         gen = gen_machine_program(seed, AsmGenOptions(max_segments=3))
         problem = resume_parity(gen.program, CONFIG)
+        assert problem is None, problem
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(0, 50_000))
+    def test_asm_opt_parity(self, seed):
+        gen = gen_machine_program(seed, AsmGenOptions(max_segments=3))
+        problem = opt_parity(gen.program)
         assert problem is None, problem
 
     @settings(max_examples=4, deadline=None)

@@ -366,7 +366,8 @@ class TestPassMetrics:
         names = [rec.name for rec in metrics.records]
         assert names == ["optimize", "profile", "alias", "schedule-pre",
                          "lower-calls", "allocate", "spill+frame",
-                         "connect-insert", "schedule", "layout"]
+                         "connect-insert", "schedule", "layout",
+                         "connect-opt"]
         assert metrics.total_seconds > 0
         assert all(rec.seconds >= 0 for rec in metrics.records)
 
